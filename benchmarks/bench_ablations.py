@@ -1,0 +1,120 @@
+"""Ablation benches: quantify each design choice in isolation.
+
+Not a paper table — these are the ablations DESIGN.md calls out:
+
+- sorted vs unsorted adjacency in SMCC-OPT's BFS;
+- bucket max-queue vs binary heap in SMCC_L-OPT;
+- the incremental LCA walk vs a full-BFS T_q computation for sc;
+- (k+1)-ecc contraction vs none in index maintenance.
+
+Expected shapes: the optimized variant wins in every pair, most
+dramatically for sc (walk touches O(|T_q|) vertices, full BFS O(|V|))
+and for maintenance on graphs with deep connectivity structure.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.ablations import (
+    NoContractionMaintainer,
+    sc_full_bfs,
+    smcc_l_heap,
+    smcc_unsorted_adjacency,
+)
+from repro.bench.datasets import get_dataset
+from repro.bench.harness import prepared_index
+from repro.bench.workloads import generate_update_workload
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.maintenance import IndexMaintainer
+from repro.index.mst import build_mst
+
+DATASET = "SSCA1"
+
+
+# --- SMCC BFS: sorted vs unsorted adjacency ---------------------------
+def test_smcc_sorted_adjacency(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.mst.smcc(next_query()))
+
+
+def test_smcc_unsorted_adjacency(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: smcc_unsorted_adjacency(index.mst, next_query()))
+
+
+# --- SMCC_L: bucket queue vs binary heap ------------------------------
+def test_smcc_l_bucket_queue(benchmark):
+    index = prepared_index(DATASET)
+    bound = max(2, index.num_vertices // 10)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.mst.smcc_l(next_query(), bound))
+
+
+def test_smcc_l_binary_heap(benchmark):
+    index = prepared_index(DATASET)
+    bound = max(2, index.num_vertices // 10)
+    next_query = query_cycler(index)
+    benchmark(lambda: smcc_l_heap(index.mst, next_query(), bound))
+
+
+# --- steiner-connectivity: LCA walk vs full BFS -----------------------
+def test_sc_lca_walk(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.mst.steiner_connectivity(next_query()))
+
+
+def test_sc_full_bfs(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: sc_full_bfs(index.mst, next_query()))
+
+
+# --- KECC engine: with vs without k-core pruning -----------------------
+def test_kecc_plain(benchmark):
+    graph = get_dataset("D3")  # sparse with a large low-core fringe
+    edges = graph.edge_list()
+    from repro.kecc import keccs_exact
+
+    benchmark.pedantic(
+        lambda: keccs_exact(graph.num_vertices, edges, 3), rounds=3, iterations=1
+    )
+
+
+def test_kecc_core_pruned(benchmark):
+    graph = get_dataset("D3")
+    edges = graph.edge_list()
+    from repro.kecc import keccs_exact, keccs_with_core_pruning
+
+    benchmark.pedantic(
+        lambda: keccs_with_core_pruning(graph.num_vertices, edges, 3, keccs_exact),
+        rounds=3,
+        iterations=1,
+    )
+
+
+# --- maintenance: with vs without (k+1)-ecc contraction ---------------
+@pytest.mark.parametrize("contraction", ["on", "off"])
+def test_maintenance_contraction(benchmark, contraction):
+    base = get_dataset(DATASET)
+
+    def setup():
+        graph = base.copy()
+        conn = conn_graph_sharing(graph)
+        mst = build_mst(conn)
+        cls = IndexMaintainer if contraction == "on" else NoContractionMaintainer
+        maintainer = cls(conn, mst)
+        ops = generate_update_workload(graph, 10, 10, seed=13)
+        return (maintainer, ops), {}
+
+    def run(maintainer, ops):
+        for op, u, v in ops:
+            if op == "delete":
+                maintainer.delete_edge(u, v)
+            else:
+                maintainer.insert_edge(u, v)
+
+    benchmark.extra_info["contraction"] = contraction
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)

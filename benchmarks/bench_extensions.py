@@ -1,0 +1,48 @@
+"""Section 7 extension queries + the interval SMCC descriptor.
+
+Not paper tables — coverage for the extension surface:
+
+- subset-SMCC and SMCC-cover (coordinated prioritized searches);
+- steiner-connectivity with size constraint;
+- `smcc_interval`: the O(|q| + log |V|) descriptor vs the
+  output-linear `smcc` (expected: interval wins big when the component
+  is large, because it never enumerates the vertices).
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+
+DATASET = "SSCA1"
+
+
+def test_subset_smcc(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index, size=6)
+    benchmark(lambda: index.subset_smcc(next_query(), 3))
+
+
+def test_smcc_cover(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index, size=6)
+    benchmark(lambda: index.smcc_cover(next_query(), 2))
+
+
+def test_sc_with_size(benchmark):
+    index = prepared_index(DATASET)
+    bound = max(2, index.num_vertices // 10)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.steiner_connectivity_with_size(next_query(), bound))
+
+
+def test_smcc_materialized(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.smcc(next_query()))
+
+
+def test_smcc_interval_descriptor(benchmark):
+    index = prepared_index(DATASET)
+    next_query = query_cycler(index)
+    benchmark(lambda: index.smcc_interval(next_query()))

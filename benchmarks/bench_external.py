@@ -1,0 +1,56 @@
+"""External-memory query processing (paper Section 7): latency and I/O.
+
+Benchmarks the disk-paged MST against the in-memory index and records
+buffer-pool statistics.  Expected shape: paged queries are slower by a
+constant factor but block reads stay proportional to the result size,
+and the LRU pool absorbs most logical requests on repeated queries.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+from repro.index.external import ExternalMST
+
+DATASET = "SSCA1"
+
+
+@pytest.fixture(scope="module")
+def paged(tmp_path_factory):
+    index = prepared_index(DATASET)
+    path = tmp_path_factory.mktemp("ext") / "mst.bin"
+    return index, ExternalMST.write(index.mst, path, block_size=4096, cache_blocks=64)
+
+
+def test_smcc_in_memory(benchmark, paged):
+    index, _ = paged
+    next_query = query_cycler(index)
+    benchmark(lambda: index.mst.smcc(next_query()))
+
+
+def test_smcc_paged_warm_cache(benchmark, paged):
+    index, ext = paged
+    next_query = query_cycler(index)
+    benchmark(lambda: ext.smcc(next_query()))
+    store = ext.store
+    benchmark.extra_info["physical_reads"] = store.reads
+    benchmark.extra_info["logical_reads"] = store.logical_reads
+    if store.logical_reads:
+        benchmark.extra_info["hit_rate"] = round(1 - store.reads / store.logical_reads, 4)
+
+
+def test_smcc_paged_cold_cache(benchmark, paged):
+    index, ext = paged
+    next_query = query_cycler(index)
+
+    def cold():
+        ext.store.drop_cache()
+        return ext.smcc(next_query())
+
+    benchmark(cold)
+
+
+def test_sc_paged(benchmark, paged):
+    index, ext = paged
+    next_query = query_cycler(index)
+    benchmark(lambda: ext.steiner_connectivity(next_query()))

@@ -1,0 +1,29 @@
+"""Paper Figure 5: SMCC query time vs |q| on the D3 analog.
+
+Expected shape: SMCC-OPT grows mildly with |q| (result size grows);
+SMCC-BLE is flat (it traverses the whole graph regardless of q).
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.baselines import smcc_baseline
+from repro.bench.harness import prepared_index
+from repro.bench.workloads import QUERY_SIZES, generate_queries
+
+
+@pytest.mark.parametrize("size", QUERY_SIZES)
+def test_smcc_opt_vary_q(benchmark, size):
+    index = prepared_index("D3")
+    next_query = query_cycler(index, size=size)
+    benchmark.extra_info["query_size"] = size
+    benchmark(lambda: index.smcc(next_query()))
+
+
+@pytest.mark.parametrize("size", [2, 10, 30])
+def test_smcc_ble_vary_q(benchmark, size):
+    index = prepared_index("D3")
+    graph = index.graph
+    query = generate_queries(graph, 1, size, seed=1)[0]
+    benchmark.extra_info["query_size"] = size
+    benchmark.pedantic(lambda: smcc_baseline(graph, query), rounds=1, iterations=1)

@@ -1,0 +1,27 @@
+"""Paper Figure 6: steiner-connectivity query time vs |q| on the D3 analog.
+
+Expected shape: both grow with |q|, but SC-MST* grows much more slowly
+(O(|q|) with O(1) LCAs) and stays well below SC-MST (O(|T_q|)).
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+from repro.bench.workloads import QUERY_SIZES
+
+
+@pytest.mark.parametrize("size", QUERY_SIZES)
+def test_sc_mst_star_vary_q(benchmark, size):
+    index = prepared_index("D3")
+    next_query = query_cycler(index, size=size)
+    benchmark.extra_info["query_size"] = size
+    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+
+
+@pytest.mark.parametrize("size", QUERY_SIZES)
+def test_sc_mst_walk_vary_q(benchmark, size):
+    index = prepared_index("D3")
+    next_query = query_cycler(index, size=size)
+    benchmark.extra_info["query_size"] = size
+    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))

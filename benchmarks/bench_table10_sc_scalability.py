@@ -1,0 +1,28 @@
+"""Paper Table 10: SC-MST* / SC-MST scalability on large-graph analogs.
+
+Expected shape: SC-MST* stays ~constant across graphs (O(|q|) with
+O(1) LCA); SC-MST varies with |T_q|.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+
+DATASETS = ["D5", "D9", "SSCA5"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_sc_mst_star_scalability(benchmark, name):
+    index = prepared_index(name)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_sc_mst_walk_scalability(benchmark, name):
+    index = prepared_index(name)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))

@@ -1,0 +1,22 @@
+"""Paper Table 11: SMCC_L-OPT scalability on large-graph analogs.
+
+Expected shape: output-linear per-query time, practical on every large
+analog (mirrors Table 4 for the size-constrained variant).
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+
+DATASETS = ["D5", "SSCA4"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_smcc_l_opt_scalability(benchmark, name):
+    index = prepared_index(name)
+    bound = max(2, index.num_vertices // 10)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["L"] = bound
+    benchmark(lambda: index.smcc_l(next_query(), bound))

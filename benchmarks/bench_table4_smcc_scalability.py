@@ -1,0 +1,20 @@
+"""Paper Table 4: SMCC-OPT scalability on large-graph analogs.
+
+Expected shape: per-query time stays output-bound (no blowup with graph
+size) — SMCC-OPT remains practical on every large analog.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.bench.harness import prepared_index
+
+DATASETS = ["D5", "D9", "SSCA4"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_smcc_opt_scalability(benchmark, name):
+    index = prepared_index(name)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark(lambda: index.smcc(next_query()))

@@ -1,0 +1,39 @@
+"""Paper Table 5: steiner-connectivity query time — SC-MST* / SC-MST / SC-BL.
+
+Expected shape: SC-MST* is roughly constant across datasets (O(|q|));
+SC-MST grows with |T_q| (graph size); SC-BL is orders of magnitude
+slower than both.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.baselines import sc_baseline
+from repro.bench.harness import prepared_index
+from repro.bench.workloads import generate_queries
+
+DATASETS = ["D1", "D3", "SSCA2"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_sc_mst_star(benchmark, name):
+    index = prepared_index(name)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_sc_mst_walk(benchmark, name):
+    index = prepared_index(name)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))
+
+
+def test_sc_baseline(benchmark):
+    index = prepared_index("D1")
+    graph = index.graph
+    query = generate_queries(graph, 1, 10, seed=1)[0]
+    benchmark.extra_info["dataset"] = "D1"
+    benchmark.pedantic(lambda: sc_baseline(graph, query), rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Paper Table 6: SMCC_L query time — SMCC_L-OPT vs SMCC_L-BL.
+
+Expected shape: the optimal prioritized search beats the baseline by
+orders of magnitude, mirroring Table 3's SMCC results.
+"""
+
+import pytest
+
+from conftest import query_cycler
+from repro.baselines import smcc_l_baseline
+from repro.bench.harness import prepared_index
+from repro.bench.workloads import generate_queries
+
+DATASETS = ["D1", "D3", "SSCA1"]
+
+
+def _bound(index) -> int:
+    return max(2, index.num_vertices // 10)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_smcc_l_opt(benchmark, name):
+    index = prepared_index(name)
+    bound = _bound(index)
+    next_query = query_cycler(index)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["L"] = bound
+    benchmark(lambda: index.smcc_l(next_query(), bound))
+
+
+@pytest.mark.parametrize("name", ["D1", "SSCA1"])
+def test_smcc_l_bl(benchmark, name):
+    index = prepared_index(name)
+    graph = index.graph
+    bound = _bound(index)
+    query = generate_queries(graph, 1, 10, seed=1)[0]
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["L"] = bound
+    benchmark.pedantic(
+        lambda: smcc_l_baseline(graph, query, bound), rounds=1, iterations=1
+    )

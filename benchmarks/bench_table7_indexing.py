@@ -1,0 +1,44 @@
+"""Paper Table 7: indexing time — ConnGraph-B / ConnGraph-BS / MST / MST*.
+
+Expected shape: ConnGraph-BS (computation sharing, Algorithm 6) beats
+ConnGraph-B by ~3x; MST and MST* construction are negligible next to
+connectivity-graph construction.
+"""
+
+import pytest
+
+from repro.bench.datasets import get_dataset
+from repro.index.connectivity_graph import conn_graph_batch, conn_graph_sharing
+from repro.index.mst import build_mst
+from repro.index.mst_star import build_mst_star
+
+DATASETS = ["D1", "SSCA1"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_conn_graph_batch(benchmark, name):
+    graph = get_dataset(name)
+    benchmark.extra_info["dataset"] = name
+    benchmark.pedantic(lambda: conn_graph_batch(graph.copy()), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_conn_graph_sharing(benchmark, name):
+    graph = get_dataset(name)
+    benchmark.extra_info["dataset"] = name
+    benchmark.pedantic(lambda: conn_graph_sharing(graph.copy()), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_build_mst(benchmark, name):
+    conn = conn_graph_sharing(get_dataset(name).copy())
+    benchmark.extra_info["dataset"] = name
+    benchmark.pedantic(lambda: build_mst(conn), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_build_mst_star(benchmark, name):
+    conn = conn_graph_sharing(get_dataset(name).copy())
+    mst = build_mst(conn)
+    benchmark.extra_info["dataset"] = name
+    benchmark.pedantic(lambda: build_mst_star(mst), rounds=3, iterations=1)

@@ -1,0 +1,34 @@
+"""Paper Table 8: index size — MST vs connectivity graph.
+
+Not a timing experiment: the benchmark times the (cheap) size
+accounting and records the byte counts in ``extra_info`` so the
+benchmark report carries the Table 8 data.  Expected shape: the MST
+index is O(|V|) and smaller than |G_c| except on very low average
+degree graphs (the paper's D3/D7 exception).
+"""
+
+import pytest
+
+from repro.bench.harness import prepared_index
+from repro.index.persistence import (
+    connectivity_graph_size_bytes,
+    mst_size_bytes,
+)
+
+DATASETS = ["D1", "D3", "SSCA1", "SSCA2"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_index_sizes(benchmark, name):
+    index = prepared_index(name)
+
+    def measure():
+        return mst_size_bytes(index.mst), connectivity_graph_size_bytes(index.conn_graph)
+
+    mst_bytes, gc_bytes = benchmark(measure)
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["mst_bytes"] = mst_bytes
+    benchmark.extra_info["gc_bytes"] = gc_bytes
+    benchmark.extra_info["mst_over_gc"] = round(mst_bytes / gc_bytes, 3)
+    # The structural expectation of Table 8: MST is O(|V|).
+    assert mst_bytes < 40 * index.num_vertices

@@ -1,0 +1,40 @@
+"""Paper Table 9: index maintenance — 40 mixed updates (20 del + 20 ins).
+
+Expected shape: the average per-update cost is orders of magnitude
+below rebuilding the index from scratch (compare against Table 7's
+ConnGraph-BS + MST times).
+"""
+
+import pytest
+
+from repro.bench.datasets import get_dataset
+from repro.bench.workloads import generate_update_workload
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.maintenance import IndexMaintainer
+from repro.index.mst import build_mst
+
+DATASETS = ["D1", "SSCA1"]
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_mixed_updates(benchmark, name):
+    base = get_dataset(name)
+
+    def setup():
+        graph = base.copy()
+        conn = conn_graph_sharing(graph)
+        mst = build_mst(conn)
+        maintainer = IndexMaintainer(conn, mst)
+        ops = generate_update_workload(graph, 20, 20, seed=7)
+        return (maintainer, ops), {}
+
+    def run(maintainer, ops):
+        for op, u, v in ops:
+            if op == "delete":
+                maintainer.delete_edge(u, v)
+            else:
+                maintainer.insert_edge(u, v)
+
+    benchmark.extra_info["dataset"] = name
+    benchmark.extra_info["updates"] = 40
+    benchmark.pedantic(run, setup=setup, rounds=2, iterations=1)

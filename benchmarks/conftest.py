@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the per-table benchmark modules.
+
+Each ``bench_*`` module regenerates one table or figure of the paper
+(see DESIGN.md §4 for the experiment index).  Benchmarks run on small
+subsets of the dataset registry so ``pytest benchmarks/
+--benchmark-only`` finishes in minutes; the full evaluation (all
+datasets, paper-vs-measured columns) is produced by
+``repro.bench.harness.run_all`` / ``examples/reproduce_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.bench.workloads import generate_queries
+
+
+def query_cycler(index, count: int = 64, size: int = 10, seed: int = 1):
+    """An endless cycle of random queries for throughput benchmarks."""
+    queries = generate_queries(index.graph, count, size, seed)
+    cycle = itertools.cycle(queries)
+    return lambda: next(cycle)

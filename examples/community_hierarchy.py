@@ -1,0 +1,72 @@
+"""Community hierarchy with labeled vertices (cohesive blocks, ref [30]).
+
+The MST index encodes the complete nested k-edge-connected-component
+hierarchy — White & Harary's "cohesive blocks" — at no extra cost.
+This example builds a labeled collaboration network, prints the
+hierarchy, queries by author name, and exports Graphviz/JSON artifacts.
+
+Run:  python examples/community_hierarchy.py
+"""
+
+import random
+
+from repro import LabeledSMCCIndex
+from repro.index.export import hierarchy_dict, mst_to_dot
+
+
+def fake_collaborations(seed: int = 3):
+    """Author-labeled edges: dense lab groups + cross-lab papers."""
+    rng = random.Random(seed)
+    labs = {
+        "db": [f"db_{i}" for i in range(6)],
+        "ml": [f"ml_{i}" for i in range(5)],
+        "sys": [f"sys_{i}" for i in range(4)],
+    }
+    edges = []
+    for members in labs.values():
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if rng.random() < 0.9:
+                    edges.append((a, b))
+    # cross-lab collaborations
+    edges += [
+        ("db_0", "ml_0"), ("db_1", "ml_1"), ("db_2", "ml_0"),
+        ("ml_2", "sys_0"), ("db_3", "sys_1"),
+    ]
+    return edges
+
+
+def print_node(node, labels, depth=0):
+    pad = "  " * depth
+    members = ", ".join(str(labels[v]) for v in node["vertices"][:8])
+    more = "" if len(node["vertices"]) <= 8 else f", ... ({len(node['vertices'])} total)"
+    print(f"{pad}k={node['connectivity']}: {members}{more}")
+    for child in node["children"]:
+        print_node(child, labels, depth + 1)
+
+
+def main() -> None:
+    edges = fake_collaborations()
+    index = LabeledSMCCIndex.from_edges(edges)
+    graph = index.index.graph
+    print(f"network: {graph.num_vertices} authors, {graph.num_edges} papers\n")
+
+    print("cohesive-block hierarchy (nested k-edge connected components):")
+    label_of = [index.labels.label_of(i) for i in range(graph.num_vertices)]
+    for root in hierarchy_dict(index.index.mst):
+        print_node(root, label_of)
+
+    print("\nqueries by author name:")
+    print("  sc(db_0, db_5)     =", index.sc_pair("db_0", "db_5"))
+    print("  sc(db_0, sys_3)    =", index.sc_pair("db_0", "sys_3"))
+    team = index.smcc(["db_0", "ml_0"])
+    print(f"  SMCC(db_0, ml_0)   = {sorted(team.labels)} (k={team.connectivity})")
+
+    dot = mst_to_dot(index.index.mst)
+    with open("community_mst.dot", "w", encoding="utf-8") as handle:
+        handle.write(dot)
+    print("\nwrote community_mst.dot (render with: dot -Tpng community_mst.dot)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: build the SMCC index and run the paper's three queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SMCCIndex
+from repro.graph.generators import ssca_graph
+
+
+def main() -> None:
+    # An SSCA#2-style graph: clusters of cliques plus inter-clique edges
+    # (one of the synthetic models from the paper's evaluation).
+    graph = ssca_graph(2_000, max_clique_size=15, seed=7)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    # One-time index construction: connectivity graph (Algorithm 6),
+    # maximum spanning tree (Section 4.2), MST* (Appendix A.2).
+    index = SMCCIndex.build(graph)
+    print(f"index: {index.mst.num_tree_edges()} tree edges")
+
+    # Three products/users from the same dense cluster.
+    q = [10, 11, 12]
+
+    # 1) Steiner-connectivity query: O(|q|).
+    sc = index.steiner_connectivity(q)
+    print(f"\nsteiner-connectivity of {q}: {sc}")
+
+    # 2) SMCC query: the maximum induced subgraph containing q with the
+    #    maximum connectivity, in time linear in the result size.
+    component = index.smcc(q)
+    print(
+        f"SMCC of {q}: {len(component)} vertices, "
+        f"connectivity {component.connectivity}"
+    )
+
+    # 3) SMCC_L query: like SMCC but the answer must have >= L vertices
+    #    (it relaxes connectivity just enough to reach the size bound).
+    bound = min(graph.num_vertices, 10 * len(component))
+    bigger = index.smcc_l(q, size_bound=bound)
+    print(
+        f"SMCC_L (L={bound}): {len(bigger)} vertices, "
+        f"connectivity {bigger.connectivity}"
+    )
+
+    # The index is dynamic: insert/delete edges with incremental
+    # maintenance (Section 5.2) instead of rebuilding.
+    changes = index.insert_edge(0, graph.num_vertices - 1)
+    print(f"\ninserted an edge; {len(changes)} steiner-connectivities changed")
+    print(f"sc of {q} is now {index.steiner_connectivity(q)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Regenerate the paper's full evaluation (Tables 1-11, Figures 5-6).
+
+Runs every experiment of Section 6 / Appendix A.4 on the dataset
+analogs and prints each table with the paper's numbers side by side.
+Writes the report to ``evaluation_report.txt`` (and ``.md``).
+
+Run:  python examples/reproduce_evaluation.py [quick|paper]
+
+``quick`` (default) uses reduced query counts so the whole run
+finishes in minutes; ``paper`` uses the paper's 1000-query sets.
+"""
+
+import sys
+import time
+
+from repro.bench.harness import EXPERIMENTS, render_report, run_all
+
+
+def main() -> None:
+    profile = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    print(f"running {len(EXPERIMENTS)} experiments with profile {profile!r}...\n")
+    tables = []
+    for name in EXPERIMENTS:
+        start = time.perf_counter()
+        table = EXPERIMENTS[name](profile)
+        elapsed = time.perf_counter() - start
+        tables.append(table)
+        print(table.render())
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+    with open("evaluation_report.txt", "w", encoding="utf-8") as handle:
+        handle.write(render_report(tables))
+    with open("evaluation_report.md", "w", encoding="utf-8") as handle:
+        handle.write(render_report(tables, markdown=True))
+    print("wrote evaluation_report.txt and evaluation_report.md")
+
+
+if __name__ == "__main__":
+    main()

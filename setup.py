@@ -1,0 +1,5 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, which the
+PEP 660 editable-install path requires)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — Steiner Maximum-Connected Component (SMCC) queries over graphs.
+
+A from-scratch reproduction of *"Index-based Optimal Algorithms for
+Computing Steiner Components with Maximum Connectivity"* (Chang, Lin,
+Qin, Yu, Zhang — SIGMOD 2015), including every substrate the paper
+depends on: the exact and randomized k-edge-connected-component
+engines, the connectivity-graph / MST / MST* indexes, incremental index
+maintenance, baselines, the Section 7 extension queries, and a
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import SMCCIndex
+    from repro.graph.generators import ssca_graph
+
+    graph = ssca_graph(1000, max_clique_size=15, seed=7)
+    index = SMCCIndex.build(graph)
+
+    sc = index.steiner_connectivity([3, 40, 200])   # O(|q|)
+    comp = index.smcc([3, 40, 200])                 # O(|result|)
+    big = index.smcc_l([3, 40], size_bound=50)      # O(|result|)
+
+    index.insert_edge(1, 999)                       # incremental maintenance
+"""
+
+from repro.core.queries import SMCCIndex, SMCCResult
+from repro.graph.labels import LabeledSMCCIndex
+from repro.errors import (
+    DisconnectedQueryError,
+    EdgeNotFoundError,
+    EmptyQueryError,
+    GraphError,
+    IndexStateError,
+    InfeasibleSizeConstraintError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SMCCIndex",
+    "SMCCResult",
+    "LabeledSMCCIndex",
+    "Graph",
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "EmptyQueryError",
+    "DisconnectedQueryError",
+    "InfeasibleSizeConstraintError",
+    "VertexNotFoundError",
+    "EdgeNotFoundError",
+    "IndexStateError",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Baseline (index-free) algorithms from Section 3 of the paper."""
+
+from repro.baselines.baseline import (
+    sc_baseline,
+    smcc_baseline,
+    smcc_l_baseline,
+)
+
+__all__ = ["smcc_baseline", "sc_baseline", "smcc_l_baseline"]

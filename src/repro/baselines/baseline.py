@@ -1,0 +1,127 @@
+"""Baseline SMCC algorithms: Algorithm 1 of the paper (Section 3).
+
+The baseline computes k-edge connected components of the *entire* graph
+for successive values of ``k`` until the component containing the query
+is pinned down, with no index and no cross-``k`` computation sharing.
+With the exact engine this is **SMCC-BLE**; with the randomized engine
+it is **SMCC-BLR**; returning ``k`` instead of the component gives
+**SC-BL**, and adding the size filter gives **SMCC_L-BL**.
+
+Deviation noted in DESIGN.md §3: the paper's pseudocode literally
+iterates ``k`` from ``|V|`` down to 1, wasting ``|V| - sc(q)`` vacuous
+full-graph passes; we iterate ``k`` upward and stop at the last
+component containing ``q``, which computes the same answer and strictly
+*favors* the baseline — so measured index-vs-baseline speedups are
+conservative relative to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    DisconnectedQueryError,
+    EmptyQueryError,
+    InfeasibleSizeConstraintError,
+)
+from repro.graph.graph import Graph
+from repro.kecc import get_engine
+
+
+def smcc_baseline(
+    graph: Graph, q: Sequence[int], engine: str = "exact", **engine_kwargs
+) -> Tuple[List[int], int]:
+    """Algorithm 1: the SMCC of ``q`` without any index.
+
+    Returns ``(vertices, sc(q))``.  ``engine="exact"`` is SMCC-BLE,
+    ``engine="random"`` is SMCC-BLR.
+    """
+    q = _normalize(q, graph)
+    kecc = get_engine(engine)
+    n = graph.num_vertices
+    edges = graph.edge_list()
+    best: Optional[Tuple[List[int], int]] = None
+    k = 0
+    while True:
+        k += 1
+        groups = kecc(n, edges, k, **engine_kwargs)
+        component = _group_containing(groups, q)
+        if component is None or len(component) < 2:
+            # len < 2 only happens for singleton queries, whose SMCC is
+            # the last size >= 2 component (Section 2 reduction).
+            break
+        best = (component, k)
+    if best is None:
+        raise DisconnectedQueryError(
+            "query vertices span multiple components (or the vertex is isolated)"
+        )
+    return best
+
+
+def sc_baseline(
+    graph: Graph, q: Sequence[int], engine: str = "exact", **engine_kwargs
+) -> int:
+    """SC-BL: the steiner-connectivity of ``q`` via repeated KECC runs."""
+    _, connectivity = smcc_baseline(graph, q, engine=engine, **engine_kwargs)
+    return connectivity
+
+
+def smcc_l_baseline(
+    graph: Graph,
+    q: Sequence[int],
+    size_bound: int,
+    engine: str = "exact",
+    **engine_kwargs,
+) -> Tuple[List[int], int]:
+    """SMCC_L-BL: the SMCC of ``q`` with >= ``size_bound`` vertices.
+
+    The k-ecc containing ``q`` only shrinks as ``k`` grows, so the
+    answer is the last ``k`` whose component both contains ``q`` and has
+    at least ``size_bound`` vertices.
+    """
+    q = _normalize(q, graph)
+    kecc = get_engine(engine)
+    n = graph.num_vertices
+    edges = graph.edge_list()
+    best: Optional[Tuple[List[int], int]] = None
+    largest = 0
+    k = 0
+    while True:
+        k += 1
+        groups = kecc(n, edges, k, **engine_kwargs)
+        component = _group_containing(groups, q)
+        if component is None or len(component) < 2:
+            break
+        largest = max(largest, len(component))
+        if len(component) < size_bound:
+            break  # monotone: higher k gives smaller components
+        best = (component, k)
+    if best is None:
+        raise InfeasibleSizeConstraintError(size_bound, largest)
+    return best
+
+
+def _group_containing(
+    groups: Sequence[Sequence[int]], q: Sequence[int]
+) -> Optional[List[int]]:
+    """The group containing *all* of ``q``, or None."""
+    target = set(q)
+    for group in groups:
+        members = set(group)
+        if target <= members:
+            return list(group)
+    return None
+
+
+def _normalize(q: Sequence[int], graph: Graph) -> List[int]:
+    q = list(dict.fromkeys(q))
+    if not q:
+        raise EmptyQueryError("query vertex set is empty")
+    for v in q:
+        graph._check_vertex(v)
+    if len(q) == 1:
+        # Section 2 reduction: replace {v} by {v, argmax_nbr sc(v, nbr)} —
+        # the baseline realizes it by simply keeping the singleton; the
+        # k-ecc loop naturally finds the singleton's SMCC.
+        return q
+    return q

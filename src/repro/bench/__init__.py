@@ -1,0 +1,18 @@
+"""Benchmark substrate: datasets, workloads, harness, and reporting."""
+
+from repro.bench.datasets import DATASETS, DatasetSpec, get_dataset, list_datasets
+from repro.bench.workloads import (
+    generate_local_queries,
+    generate_queries,
+    generate_update_workload,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "list_datasets",
+    "generate_queries",
+    "generate_local_queries",
+    "generate_update_workload",
+]

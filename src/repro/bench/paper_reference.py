@@ -1,0 +1,133 @@
+"""The paper's reported measurements, transcribed from Section 6 / A.4.
+
+Used by the harness to print paper-vs-measured comparisons and by
+EXPERIMENTS.md generation.  Units follow the paper:
+
+- Tables 3, 4, 6, 11: seconds per 1000 queries.
+- Tables 5, 10: milliseconds per 1000 queries.
+- Table 7: seconds (D10/D11 entries that the paper quotes in hours are
+  converted); ``None`` = the paper reports "-" (did not finish / run).
+- Table 8: bytes.
+- Table 9: milliseconds per update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+# Table 3: SMCC query time (seconds / 1000 queries).
+PAPER_TABLE3: Dict[str, Dict[str, Optional[float]]] = {
+    "D1": {"SMCC-OPT": 0.001, "SMCC-BLE": 2.66, "SMCC-BLR": 851},
+    "D2": {"SMCC-OPT": 0.15, "SMCC-BLE": 28.7, "SMCC-BLR": 18_302},
+    "D3": {"SMCC-OPT": 0.09, "SMCC-BLE": 148, "SMCC-BLR": None},
+    "D4": {"SMCC-OPT": 0.26, "SMCC-BLE": 256, "SMCC-BLR": None},
+    "PL1": {"SMCC-OPT": 0.27, "SMCC-BLE": 26, "SMCC-BLR": None},
+    "PL2": {"SMCC-OPT": 0.26, "SMCC-BLE": 36, "SMCC-BLR": None},
+    "SSCA1": {"SMCC-OPT": 0.009, "SMCC-BLE": 2.1, "SMCC-BLR": 2_604},
+    "SSCA2": {"SMCC-OPT": 0.03, "SMCC-BLE": 36.3, "SMCC-BLR": 35_447},
+    "SSCA3": {"SMCC-OPT": 0.07, "SMCC-BLE": 224, "SMCC-BLR": None},
+}
+
+# Table 4: SMCC-OPT scalability (seconds / 1000 queries).
+PAPER_TABLE4: Dict[str, float] = {
+    "D5": 13, "D6": 6.1, "D7": 2.9, "D8": 18, "D9": 81, "D10": 87,
+    "D11": 1.5, "SSCA4": 0.74, "SSCA5": 2.15,
+}
+
+# Table 5: steiner-connectivity query time (milliseconds / 1000 queries).
+PAPER_TABLE5: Dict[str, Dict[str, float]] = {
+    "D1": {"SC-MST*": 0.01, "SC-MST": 0.12, "SC-BL": 2_657},
+    "D2": {"SC-MST*": 0.01, "SC-MST": 0.35, "SC-BL": 28_706},
+    "D3": {"SC-MST*": 0.01, "SC-MST": 0.55, "SC-BL": 148_334},
+    "D4": {"SC-MST*": 0.01, "SC-MST": 0.26, "SC-BL": 256_234},
+    "PL1": {"SC-MST*": 0.01, "SC-MST": 0.26, "SC-BL": 26_275},
+    "PL2": {"SC-MST*": 0.01, "SC-MST": 0.27, "SC-BL": 35_574},
+    "SSCA1": {"SC-MST*": 0.01, "SC-MST": 0.16, "SC-BL": 2_095},
+    "SSCA2": {"SC-MST*": 0.01, "SC-MST": 0.27, "SC-BL": 36_319},
+    "SSCA3": {"SC-MST*": 0.01, "SC-MST": 0.66, "SC-BL": 224_170},
+}
+
+# Table 6: SMCC_L query time (seconds / 1000 queries).
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "D1": {"SMCCL-OPT": 0.01, "SMCCL-BL": 2.65},
+    "D2": {"SMCCL-OPT": 0.12, "SMCCL-BL": 26},
+    "D3": {"SMCCL-OPT": 0.07, "SMCCL-BL": 158},
+    "D4": {"SMCCL-OPT": 0.22, "SMCCL-BL": 242},
+    "PL1": {"SMCCL-OPT": 0.24, "SMCCL-BL": 22},
+    "PL2": {"SMCCL-OPT": 0.25, "SMCCL-BL": 31},
+    "SSCA1": {"SMCCL-OPT": 0.01, "SMCCL-BL": 2.06},
+    "SSCA2": {"SMCCL-OPT": 0.04, "SMCCL-BL": 25.3},
+    "SSCA3": {"SMCCL-OPT": 0.15, "SMCCL-BL": 250},
+}
+
+# Table 7: indexing time (seconds).
+PAPER_TABLE7: Dict[str, Dict[str, Optional[float]]] = {
+    "D1": {"ConnGraph-B": 0.054, "ConnGraph-BS": 0.019, "MST": 0.001, "MST*": 0.003},
+    "D2": {"ConnGraph-B": 0.3, "ConnGraph-BS": 0.154, "MST": 0.005, "MST*": 0.005},
+    "D3": {"ConnGraph-B": 2.3, "ConnGraph-BS": 0.332, "MST": 0.049, "MST*": 0.036},
+    "D4": {"ConnGraph-B": 10.12, "ConnGraph-BS": 3.38, "MST": 0.064, "MST*": 0.013},
+    "D5": {"ConnGraph-B": 26, "ConnGraph-BS": 23, "MST": 0.468, "MST*": 0.083},
+    "D6": {"ConnGraph-B": 82.8, "ConnGraph-BS": 27.7, "MST": 0.626, "MST*": 0.159},
+    "D7": {"ConnGraph-B": 202, "ConnGraph-BS": 44, "MST": 1.2, "MST*": 0.482},
+    "D8": {"ConnGraph-B": 511, "ConnGraph-BS": 141, "MST": 1.86, "MST*": 0.33},
+    "D9": {"ConnGraph-B": 7_766, "ConnGraph-BS": 1_450, "MST": 9.17, "MST*": 1.425},
+    "D10": {"ConnGraph-B": 33_143, "ConnGraph-BS": 6_172, "MST": 21, "MST*": 3.429},
+    "D11": {"ConnGraph-B": None, "ConnGraph-BS": 61 * 3600, "MST": 151, "MST*": 7.8},
+    "PL1": {"ConnGraph-B": 0.211, "ConnGraph-BS": 0.171, "MST": 0.006, "MST*": 0.004},
+    "PL2": {"ConnGraph-B": 0.3, "ConnGraph-BS": 0.268, "MST": 0.007, "MST*": 0.004},
+    "SSCA1": {"ConnGraph-B": 0.072, "ConnGraph-BS": 0.041, "MST": 0.001, "MST*": 0.003},
+    "SSCA2": {"ConnGraph-B": 0.867, "ConnGraph-BS": 0.5, "MST": 0.008, "MST*": 0.004},
+    "SSCA3": {"ConnGraph-B": 16.86, "ConnGraph-BS": 6.66, "MST": 0.112, "MST*": 0.01},
+    "SSCA4": {"ConnGraph-B": 264, "ConnGraph-BS": 70.57, "MST": 0.796, "MST*": 0.05},
+    "SSCA5": {"ConnGraph-B": 2_289, "ConnGraph-BS": 720, "MST": 6.78, "MST*": 0.25},
+}
+
+# Table 8: index size (bytes; M = 1e6, G = 1e9 as the paper prints them).
+_M, _G = 1e6, 1e9
+PAPER_TABLE8: Dict[str, Dict[str, float]] = {
+    "D1": {"MST": 0.14 * _M, "Gc": 0.15 * _M},
+    "D2": {"MST": 0.75 * _M, "Gc": 1.1 * _M},
+    "D3": {"MST": 7.9 * _M, "Gc": 3.9 * _M},
+    "D4": {"MST": 2.6 * _M, "Gc": 4.7 * _M},
+    "D5": {"MST": 14 * _M, "Gc": 28 * _M},
+    "D6": {"MST": 23 * _M, "Gc": 36 * _M},
+    "D7": {"MST": 84 * _M, "Gc": 54 * _M},
+    "D8": {"MST": 59 * _M, "Gc": 127 * _M},
+    "D9": {"MST": 170 * _M, "Gc": 491 * _M},
+    "D10": {"MST": 649 * _M, "Gc": 3.0 * _G},
+    "D11": {"MST": 1.3 * _G, "Gc": 14 * _G},
+    "PL1": {"MST": 0.57 * _M, "Gc": 1.4 * _M},
+    "PL2": {"MST": 0.57 * _M, "Gc": 1.6 * _M},
+    "SSCA1": {"MST": 0.14 * _M, "Gc": 0.28 * _M},
+    "SSCA2": {"MST": 0.57 * _M, "Gc": 1.7 * _M},
+    "SSCA3": {"MST": 2.3 * _M, "Gc": 11 * _M},
+    "SSCA4": {"MST": 9.2 * _M, "Gc": 65 * _M},
+    "SSCA5": {"MST": 37 * _M, "Gc": 405 * _M},
+}
+
+# Table 9: average index update time (milliseconds per update).
+PAPER_TABLE9: Dict[str, float] = {
+    "D1": 0.226, "D2": 0.054, "D3": 3.45, "D4": 24.5, "D5": 906,
+    "D6": 1.98, "D7": 82, "D8": 9.58, "D9": 48.9, "D10": 3_130,
+    "PL1": 36.9, "PL2": 35.7, "SSCA1": 0.068, "SSCA2": 0.37,
+    "SSCA3": 4.59, "SSCA4": 10.7, "SSCA5": 35.2,
+}
+
+# Table 10: SC scalability (milliseconds / 1000 queries).
+PAPER_TABLE10: Dict[str, Dict[str, float]] = {
+    "D5": {"SC-MST*": 0.01, "SC-MST": 2.05},
+    "D6": {"SC-MST*": 0.01, "SC-MST": 1.68},
+    "D7": {"SC-MST*": 0.01, "SC-MST": 0.93},
+    "D8": {"SC-MST*": 0.01, "SC-MST": 0.87},
+    "D9": {"SC-MST*": 0.01, "SC-MST": 1.88},
+    "D10": {"SC-MST*": 0.01, "SC-MST": 2.67},
+    "D11": {"SC-MST*": 0.01, "SC-MST": 1.21},
+    "SSCA4": {"SC-MST*": 0.01, "SC-MST": 1.77},
+    "SSCA5": {"SC-MST*": 0.01, "SC-MST": 2.05},
+}
+
+# Table 11: SMCC_L-OPT scalability (seconds / 1000 queries).
+PAPER_TABLE11: Dict[str, float] = {
+    "D5": 16.8, "D6": 8.66, "D7": 1.39, "D8": 22.4, "D9": 91,
+    "D10": 95, "D11": 1.6, "SSCA4": 0.78, "SSCA5": 2.49,
+}

@@ -1,0 +1,100 @@
+"""Plain-text table rendering and timing helpers for the bench harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+
+class Table:
+    """A fixed-width text table (also renderable as markdown)."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        header = "| " + " | ".join(self.columns) + " |"
+        sep = "|" + "|".join(["---"] * len(self.columns)) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([f"### {self.title}", "", header, sep, *body])
+
+    def as_dicts(self) -> List[Dict[str, str]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3g}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def time_calls(fn: Callable, inputs: Iterable, repeat: int = 1) -> float:
+    """Total wall-clock seconds to call ``fn(*args)`` for every input.
+
+    Each element of ``inputs`` is passed as a single positional argument
+    unless it is a tuple, which is unpacked.
+    """
+    items = list(inputs)
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for item in items:
+            if isinstance(item, tuple):
+                fn(*item)
+            else:
+                fn(item)
+    return (time.perf_counter() - start) / max(repeat, 1)
+
+
+def time_once(fn: Callable, *args, **kwargs) -> float:
+    """Wall-clock seconds of a single call (result discarded)."""
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+def per_query_us(total_seconds: float, count: int) -> Optional[float]:
+    """Microseconds per query, or None for an empty workload."""
+    if count == 0:
+        return None
+    return total_seconds / count * 1e6
+
+
+def ratio(slow: Optional[float], fast: Optional[float]) -> Optional[float]:
+    """``slow / fast`` guarding Nones and zero denominators."""
+    if slow is None or fast is None or fast == 0:
+        return None
+    return slow / fast

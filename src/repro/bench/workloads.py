@@ -1,0 +1,115 @@
+"""Query and update workload generation (Section 6 methodology).
+
+The paper generates, per query type, five query sets of 1000 random
+queries each, with |q| drawn from {2, 5, 10, 20, 30} (default 10), and
+for maintenance a mixed sequence of 20 edge deletions + 20 insertions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.graph import Graph
+
+#: The paper's query sizes (Section 6, "Queries").
+QUERY_SIZES: Tuple[int, ...] = (2, 5, 10, 20, 30)
+DEFAULT_QUERY_SIZE = 10
+
+
+def generate_queries(
+    graph: Graph, count: int, size: int = DEFAULT_QUERY_SIZE, seed: int = 0
+) -> List[List[int]]:
+    """``count`` random queries of ``size`` distinct vertices each.
+
+    Vertices are drawn uniformly from the graph (which the dataset
+    registry guarantees is connected, mirroring the paper's use of the
+    largest connected component).
+    """
+    n = graph.num_vertices
+    if size > n:
+        raise ValueError(f"query size {size} exceeds vertex count {n}")
+    rng = random.Random(seed)
+    return [rng.sample(range(n), size) for _ in range(count)]
+
+
+def generate_local_queries(
+    graph: Graph, count: int, size: int = DEFAULT_QUERY_SIZE, seed: int = 0
+) -> List[List[int]]:
+    """Locality-biased queries: vertices sampled near a random anchor.
+
+    Uniform queries (the paper's workload) tend to have steiner-
+    connectivity 1 on sparse graphs, so their SMCCs are whole
+    components.  Local queries — an anchor plus BFS-nearby vertices —
+    land inside dense regions, exercising the deeper levels of the
+    connectivity hierarchy (used by the ablation and extension benches).
+    """
+    from collections import deque
+
+    n = graph.num_vertices
+    if size > n:
+        raise ValueError(f"query size {size} exceeds vertex count {n}")
+    rng = random.Random(seed)
+    queries: List[List[int]] = []
+    for _ in range(count):
+        anchor = rng.randrange(n)
+        # Collect a neighborhood of ~4x the query size by BFS.
+        want = min(n, 4 * size)
+        seen = {anchor}
+        order = [anchor]
+        queue = deque((anchor,))
+        while queue and len(order) < want:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    order.append(v)
+                    queue.append(v)
+                    if len(order) >= want:
+                        break
+        if len(order) >= size:
+            queries.append(rng.sample(order, size))
+        else:
+            queries.append(rng.sample(range(n), size))
+    return queries
+
+
+def generate_update_workload(
+    graph: Graph, deletions: int = 20, insertions: int = 20, seed: int = 0
+) -> List[Tuple[str, int, int]]:
+    """A mixed edge-update sequence: ``("delete"|"insert", u, v)`` ops.
+
+    Mirrors Eval-VI: 20 deletions and 20 insertions, interleaved
+    randomly.  Deletions pick existing edges; insertions pick vertex
+    pairs that are non-edges *at generation time* (deleted edges may be
+    re-inserted, which is fine — the maintenance code handles both).
+    The workload is applied in order to a *copy* of the graph to stay
+    valid: an insertion of an edge deleted earlier in the sequence is
+    legal, and generation simulates the sequence to guarantee validity.
+    """
+    rng = random.Random(seed)
+    sim = graph.copy()
+    ops: List[Tuple[str, int, int]] = []
+    want = ["delete"] * deletions + ["insert"] * insertions
+    rng.shuffle(want)
+    n = graph.num_vertices
+    for op in want:
+        if op == "delete":
+            edges = sim.edge_list()
+            if not edges:
+                continue
+            u, v = edges[rng.randrange(len(edges))]
+            sim.remove_edge(u, v)
+            ops.append(("delete", u, v))
+        else:
+            placed = False
+            for _ in range(200):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not sim.has_edge(u, v):
+                    sim.add_edge(u, v)
+                    ops.append(("insert", u, v))
+                    placed = True
+                    break
+            if not placed:  # pragma: no cover - dense corner case
+                continue
+    return ops

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+stats     print size statistics of an edge-list graph
+generate  write a synthetic graph (power-law / ssca / gnm) as an edge list
+build     build the SMCC index for an edge-list graph and save it
+query     run smcc / sc / smcc-l queries against a saved index
+update    apply edge insertions/deletions to a saved index
+bench     run the paper-evaluation harness experiments
+
+Examples
+--------
+    python -m repro generate ssca -n 2000 -o graph.txt
+    python -m repro build graph.txt -o index_dir
+    python -m repro query index_dir --sc 1 2 3
+    python -m repro query index_dir --smcc 1 2 3
+    python -m repro query index_dir --smcc-l 1 2 3 --size-bound 50
+    python -m repro update index_dir --insert 5 99 --delete 1 2
+    python -m repro bench table3 figure5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro import SMCCIndex
+from repro.errors import ReproError
+from repro.graph.generators import gnm_random_graph, power_law_graph, ssca_graph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def _cmd_stats(args) -> int:
+    graph = read_edge_list(args.graph, relabel=args.relabel)
+    degrees = [graph.degree(u) for u in graph.vertices()]
+    avg = sum(degrees) / len(degrees) if degrees else 0.0
+    print(f"vertices:   {graph.num_vertices}")
+    print(f"edges:      {graph.num_edges}")
+    print(f"avg degree: {avg:.2f}")
+    print(f"max degree: {max(degrees, default=0)}")
+    from repro.graph.traversal import connected_components
+
+    comps = connected_components(graph)
+    print(f"components: {len(comps)} (largest: {max(map(len, comps), default=0)})")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.model == "ssca":
+        graph = ssca_graph(args.vertices, max_clique_size=args.max_clique, seed=args.seed)
+    elif args.model == "power-law":
+        edges = args.edges or 6 * args.vertices
+        graph = power_law_graph(args.vertices, edges, seed=args.seed)
+    else:  # gnm
+        edges = args.edges or 4 * args.vertices
+        graph = gnm_random_graph(args.vertices, edges, seed=args.seed)
+    write_edge_list(graph, args.output)
+    print(f"wrote {args.model} graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges -> {args.output}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    graph = read_edge_list(args.graph, relabel=args.relabel)
+    print(f"building index for {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges ...")
+    start = time.perf_counter()
+    index = SMCCIndex.build(graph, method=args.method, engine=args.engine)
+    elapsed = time.perf_counter() - start
+    index.save(args.output)
+    print(f"built in {elapsed:.2f}s; saved to {args.output}")
+    return 0
+
+
+def _parse_query(values: Sequence[str]) -> List[int]:
+    return [int(v) for v in values]
+
+
+def _cmd_query(args) -> int:
+    index = SMCCIndex.load(args.index)
+    ran = False
+    if args.sc is not None:
+        q = _parse_query(args.sc)
+        print(f"sc({q}) = {index.steiner_connectivity(q)}")
+        ran = True
+    if args.smcc is not None:
+        q = _parse_query(args.smcc)
+        result = index.smcc(q)
+        print(f"SMCC({q}): {len(result)} vertices, "
+              f"connectivity {result.connectivity}")
+        print(" ".join(map(str, sorted(result.vertices))))
+        ran = True
+    if args.smcc_l is not None:
+        q = _parse_query(args.smcc_l)
+        result = index.smcc_l(q, args.size_bound)
+        print(f"SMCC_L({q}, L={args.size_bound}): {len(result)} vertices, "
+              f"connectivity {result.connectivity}")
+        print(" ".join(map(str, sorted(result.vertices))))
+        ran = True
+    if not ran:
+        print("nothing to do: pass --sc, --smcc, or --smcc-l", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_update(args) -> int:
+    index = SMCCIndex.load(args.index)
+    total_changes = 0
+    for u, v in args.insert or []:
+        changes = index.insert_edge(int(u), int(v))
+        total_changes += len(changes)
+        print(f"insert ({u}, {v}): {len(changes)} sc changes")
+    for u, v in args.delete or []:
+        changes = index.delete_edge(int(u), int(v))
+        total_changes += len(changes)
+        print(f"delete ({u}, {v}): {len(changes)} sc changes")
+    index.save(args.index)
+    print(f"index updated in place ({total_changes} total sc changes)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    index = SMCCIndex.load(args.index)
+    index.verify(sample_pairs=args.samples)
+    print(
+        f"index OK: {index.num_vertices} vertices, {index.num_edges} edges, "
+        f"{index.mst.num_tree_edges()} tree edges, "
+        f"max connectivity {index.max_connectivity()}"
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.harness import EXPERIMENTS
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}",
+              file=sys.stderr)
+        return 2
+    for name in names:
+        table = EXPERIMENTS[name](args.profile)
+        print(table.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMCC queries over graphs (SIGMOD'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("stats", help="print statistics of an edge-list graph")
+    p.add_argument("graph", help="edge-list file (SNAP format)")
+    p.add_argument("--relabel", action="store_true",
+                   help="compact sparse vertex ids to 0..n-1")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("model", choices=["ssca", "power-law", "gnm"])
+    p.add_argument("-n", "--vertices", type=int, default=1000)
+    p.add_argument("-m", "--edges", type=int, default=None)
+    p.add_argument("--max-clique", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("build", help="build and save the SMCC index")
+    p.add_argument("graph", help="edge-list file")
+    p.add_argument("-o", "--output", required=True, help="index directory")
+    p.add_argument("--relabel", action="store_true",
+                   help="compact sparse vertex ids to 0..n-1 "
+                        "(default keeps file ids, so queries use them)")
+    p.add_argument("--method", choices=["sharing", "batch"], default="sharing")
+    p.add_argument("--engine", choices=["exact", "random", "cut"], default="exact")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("query", help="query a saved index")
+    p.add_argument("index", help="index directory from `build`")
+    p.add_argument("--sc", nargs="+", metavar="V", help="steiner-connectivity query")
+    p.add_argument("--smcc", nargs="+", metavar="V", help="SMCC query")
+    p.add_argument("--smcc-l", nargs="+", metavar="V", help="SMCC_L query")
+    p.add_argument("--size-bound", type=int, default=2, help="L for --smcc-l")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("update", help="apply edge updates to a saved index")
+    p.add_argument("index", help="index directory")
+    p.add_argument("--insert", nargs=2, action="append", metavar=("U", "V"))
+    p.add_argument("--delete", nargs=2, action="append", metavar=("U", "V"))
+    p.set_defaults(func=_cmd_update)
+
+    p = sub.add_parser("verify", help="integrity-check a saved index (fsck)")
+    p.add_argument("index", help="index directory")
+    p.add_argument("--samples", type=int, default=64,
+                   help="random sc pairs to recompute from scratch")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("bench", help="run paper-evaluation experiments")
+    p.add_argument("experiments", nargs="*", help="e.g. table3 figure5 (default: all)")
+    p.add_argument("--profile", choices=["quick", "paper"], default="quick")
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

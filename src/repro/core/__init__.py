@@ -1,0 +1,23 @@
+"""Core query layer: the paper's optimal algorithms and the public facade."""
+
+from repro.core.extensions import (
+    smcc_cover,
+    steiner_connectivity_with_size,
+    subset_smcc,
+)
+from repro.core.queries import SMCCIndex, SMCCResult
+from repro.core.smcc import smcc_opt
+from repro.core.smcc_l import smcc_l_opt
+from repro.core.steiner_connectivity import sc_mst, sc_opt
+
+__all__ = [
+    "SMCCIndex",
+    "SMCCResult",
+    "smcc_opt",
+    "smcc_l_opt",
+    "sc_mst",
+    "sc_opt",
+    "subset_smcc",
+    "smcc_cover",
+    "steiner_connectivity_with_size",
+]

@@ -1,0 +1,246 @@
+"""Extension queries from Section 7 of the paper.
+
+- :func:`subset_smcc` — the maximum induced subgraph with maximum
+  connectivity containing *at least L of the query vertices*.
+- :func:`smcc_cover` — L maximum induced subgraphs that collectively
+  cover the query, maximizing the minimum of their connectivities.
+- :func:`steiner_connectivity_with_size` — the connectivity of the
+  SMCC_L (returns the k instead of the component).
+
+All three are built on the prioritized-search machinery of Algorithm 5,
+exactly as the paper sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.index.mst import MSTIndex, _normalize_query
+from repro.util.bucket_queue import MaxBucketQueue
+
+
+def steiner_connectivity_with_size(
+    mst: MSTIndex, q: Sequence[int], size_bound: int
+) -> int:
+    """The connectivity of the SMCC_L of ``q`` (Section 7, ``gc_l``)."""
+    _, connectivity = mst.smcc_l(q, size_bound)
+    return connectivity
+
+
+# ----------------------------------------------------------------------
+# Subset-SMCC
+# ----------------------------------------------------------------------
+def subset_smcc(
+    mst: MSTIndex, q: Sequence[int], cover_bound: int
+) -> Tuple[List[int], int]:
+    """Subset-SMCC: max-connectivity component containing >= L query vertices.
+
+    Runs one prioritized search per query vertex (each stops once its
+    visited set covers ``cover_bound`` query vertices) and returns the
+    component with maximum connectivity; ties broken toward the larger
+    component.  ``(vertices, connectivity)`` is returned.
+    """
+    q = _normalize_query(q, mst.n)
+    if not (1 <= cover_bound <= len(q)):
+        raise QueryError(
+            f"cover bound must be in 1..|q| = 1..{len(q)}, got {cover_bound}"
+        )
+    needed = set(q)
+    best: Optional[Tuple[int, List[int]]] = None
+    for v0 in q:
+        result = _prioritized_search(
+            mst,
+            v0,
+            lambda visited, hits: hits >= cover_bound,
+            needed,
+        )
+        if result is None:
+            continue
+        vertices, connectivity = result
+        if (
+            best is None
+            or connectivity > best[0]
+            or (connectivity == best[0] and len(vertices) > len(best[1]))
+        ):
+            best = (connectivity, vertices)
+    if best is None:
+        raise QueryError(
+            f"no component covers {cover_bound} of the query vertices"
+        )
+    return best[1], best[0]
+
+
+def _prioritized_search(
+    mst: MSTIndex,
+    v0: int,
+    stop: Callable[[int, int], bool],
+    needed: set,
+) -> Optional[Tuple[List[int], int]]:
+    """Algorithm 5 generalized: fix k when ``stop(|visited|, query-hits)`` holds.
+
+    Returns ``(vertices, k)`` or None when the stop condition is never
+    met within the component of ``v0``.
+    """
+    mst._ensure_derived()
+    sorted_adj = mst._sorted_adj
+    assert sorted_adj is not None
+    queue = MaxBucketQueue(max(mst.n, 1))
+    visited = {v0}
+    order = [v0]
+    hits = 1 if v0 in needed else 0
+    if sorted_adj[v0]:
+        queue.push(sorted_adj[v0][0][0], (v0, 0))
+    k = 0
+    min_popped: Optional[int] = None
+    if stop(len(order), hits):
+        # Condition already holds at the seed: the answer is the
+        # singleton SMCC of v0, whose connectivity is v0's heaviest
+        # incident weight — i.e. the key of the first pop.
+        if not queue:
+            return [v0], 0
+        k = queue.max_key()
+    while queue and queue.max_key() >= max(k, 1):
+        weight, (u, cursor) = queue.pop_max()
+        if min_popped is None or weight < min_popped:
+            min_popped = weight
+        if cursor + 1 < len(sorted_adj[u]):
+            queue.push(sorted_adj[u][cursor + 1][0], (u, cursor + 1))
+        v = sorted_adj[u][cursor][1]
+        if v in visited:
+            continue
+        visited.add(v)
+        order.append(v)
+        if v in needed:
+            hits += 1
+        if sorted_adj[v]:
+            queue.push(sorted_adj[v][0][0], (v, 0))
+        if k == 0 and stop(len(order), hits):
+            # Algorithm 5 line 11: the minimum popped weight becomes the
+            # connectivity; the loop then drains all edges >= k.
+            assert min_popped is not None
+            k = min_popped
+    if k == 0:
+        return None
+    return order, k
+
+
+# ----------------------------------------------------------------------
+# SMCC-cover
+# ----------------------------------------------------------------------
+def smcc_cover(
+    mst: MSTIndex, q: Sequence[int], num_components: int
+) -> List[Tuple[List[int], int]]:
+    """SMCC-cover: L components that jointly cover ``q`` (Section 7).
+
+    Runs |q| coordinated prioritized-search instances (one per query
+    vertex).  Each step advances the instance whose current weight
+    (minimum popped edge weight so far; +inf before any pop) is maximum;
+    instances that touch a vertex already claimed by another instance
+    merge.  When exactly ``num_components`` instances remain, each fixes
+    its connectivity ``k`` and returns its k-edge connected component.
+
+    Returns a list of ``(vertices, connectivity)`` pairs, one per
+    component, maximizing the minimum connectivity across the cover.
+    """
+    q = _normalize_query(q, mst.n)
+    if not (1 <= num_components <= len(q)):
+        raise QueryError(
+            f"component count must be in 1..|q| = 1..{len(q)}, got {num_components}"
+        )
+    mst._ensure_derived()
+    sorted_adj = mst._sorted_adj
+    assert sorted_adj is not None
+
+    if num_components == len(q):
+        # Degenerate: each query vertex is covered by its own singleton
+        # SMCC (sc({v}) = max incident weight, Section 2 reduction).
+        out = []
+        for v in q:
+            if mst.tree_adj[v]:
+                k = max(mst.tree_adj[v].values())
+                out.append((mst.vertices_with_connectivity(v, k), k))
+            else:
+                out.append(([v], 0))
+        return out
+
+    num_instances = len(q)
+    parent = list(range(num_instances))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    queues: List[MaxBucketQueue] = []
+    min_popped: List[Optional[int]] = [None] * num_instances
+    seeds: List[int] = list(q)
+    owner: Dict[int, int] = {}
+    for idx, v in enumerate(q):
+        queue = MaxBucketQueue(max(mst.n, 1))
+        if sorted_adj[v]:
+            queue.push(sorted_adj[v][0][0], (v, 0))
+        queues.append(queue)
+        owner[v] = idx
+    live = set(range(num_instances))
+
+    def instance_weight(root: int) -> float:
+        mp = min_popped[root]
+        return float("inf") if mp is None else float(mp)
+
+    while len(live) > num_components:
+        # Advance the live instance with maximum current weight whose
+        # queue is non-empty.
+        candidates = [r for r in live if queues[r]]
+        if not candidates:
+            break  # disconnected graph: cannot merge further
+        root = max(candidates, key=instance_weight)
+        weight, (u, cursor) = queues[root].pop_max()
+        if min_popped[root] is None or weight < min_popped[root]:  # type: ignore[operator]
+            min_popped[root] = weight
+        if cursor + 1 < len(sorted_adj[u]):
+            queues[root].push(sorted_adj[u][cursor + 1][0], (u, cursor + 1))
+        v = sorted_adj[u][cursor][1]
+        holder = owner.get(v)
+        if holder is None:
+            owner[v] = root
+            if sorted_adj[v]:
+                queues[root].push(sorted_adj[v][0][0], (v, 0))
+            continue
+        other = find(holder)
+        if other == root:
+            continue
+        # Merge the two instances (small-to-large queue merge).
+        small, big = (root, other) if len(queues[root]) <= len(queues[other]) else (other, root)
+        while queues[small]:
+            w, item = queues[small].pop_max()
+            queues[big].push(w, item)
+        merged_min = _min_optional(min_popped[small], min_popped[big])
+        parent[small] = big
+        min_popped[big] = merged_min
+        live.discard(small)
+
+    results: List[Tuple[List[int], int]] = []
+    for root in live:
+        mp = min_popped[root]
+        if mp is None:
+            # Never popped: singleton component around its seed.
+            seed = seeds[root]
+            if mst.tree_adj[seed]:
+                k = max(mst.tree_adj[seed].values())
+                results.append((mst.vertices_with_connectivity(seed, k), k))
+            else:
+                results.append(([seed], 0))
+        else:
+            seed = seeds[root]
+            results.append((mst.vertices_with_connectivity(seed, mp), mp))
+    return results
+
+
+def _min_optional(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

@@ -1,0 +1,27 @@
+"""SMCC_L-OPT: SMCC with a minimum-size constraint (Section 4.5, Algorithm 5).
+
+A prioritized (maximum-weight-first) search over the MST from a query
+vertex, backed by a bucket max-queue so the total cost is linear in the
+result size.  The connectivity ``k`` of the answer is fixed at the
+moment the visited set first covers the query and reaches the size
+bound: ``k`` = the minimum weight among the edges popped so far.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.index.mst import MSTIndex
+
+
+def smcc_l_opt(
+    mst: MSTIndex, q: Sequence[int], size_bound: int
+) -> Tuple[List[int], int]:
+    """Compute the SMCC_L of ``q``: ``(vertices, connectivity)``.
+
+    Raises :class:`~repro.errors.InfeasibleSizeConstraintError` when the
+    connected component containing ``q`` has fewer than ``size_bound``
+    vertices, and :class:`~repro.errors.DisconnectedQueryError` when the
+    query spans components.
+    """
+    return mst.smcc_l(q, size_bound)

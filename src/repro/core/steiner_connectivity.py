@@ -1,0 +1,33 @@
+"""Steiner-connectivity query algorithms (Sections 4.3 and A.2).
+
+- :func:`sc_mst` — **SC-MST** (Algorithms 3 / 10): the LCA walk on the
+  rooted MST, ``O(|T_q|)`` time.
+- :func:`sc_opt` — **SC-MST\\*** (Algorithm 11): per-pair O(1) LCA
+  lookups on the MST* tree, ``O(|q|)`` time — optimal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.index.mst import MSTIndex
+from repro.index.mst_star import MSTStar
+
+
+def sc_mst(mst: MSTIndex, q: Sequence[int]) -> int:
+    """SC-MST: steiner-connectivity of ``q`` via the MST subtree ``T_q``.
+
+    ``sc(q)`` is the minimum edge weight in the minimal connected subtree
+    of the MST spanning ``q`` (Lemma 4.5); the subtree is discovered by
+    the incremental LCA walk of Algorithm 10 in ``O(|T_q|)`` time.
+    """
+    return mst.steiner_connectivity(q)
+
+
+def sc_opt(mst_star: MSTStar, q: Sequence[int]) -> int:
+    """SC-MST*: optimal ``O(|q|)`` steiner-connectivity (Algorithm 11).
+
+    ``sc(q) = min_i weight(LCA_{T*}(v_0, v_i))`` by Lemmas 4.2 and A.2;
+    each LCA is O(1) after preprocessing.
+    """
+    return mst_star.steiner_connectivity(q)

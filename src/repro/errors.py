@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the public API derives from :class:`ReproError`, so
+callers can catch a single base class.  Query-time problems (bad query
+vertex sets, infeasible size constraints) are distinguished from graph
+construction problems so that applications can recover differently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or mutation operations."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a vertex that does not exist."""
+
+    def __init__(self, vertex) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that does not exist."""
+
+    def __init__(self, u, v) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class QueryError(ReproError):
+    """Base class for query processing errors."""
+
+
+class EmptyQueryError(QueryError):
+    """Raised when a query vertex set is empty."""
+
+
+class DisconnectedQueryError(QueryError):
+    """Raised when the query vertices do not lie in one connected component.
+
+    The steiner-connectivity of such a query would be 0 and no SMCC exists;
+    the paper assumes a connected input graph, so we surface the condition
+    explicitly instead of returning a degenerate answer.
+    """
+
+
+class InfeasibleSizeConstraintError(QueryError):
+    """Raised when no component containing ``q`` has at least ``L`` vertices."""
+
+    def __init__(self, size_bound: int, component_size: int) -> None:
+        super().__init__(
+            f"no component containing the query has >= {size_bound} vertices "
+            f"(the connected component has only {component_size})"
+        )
+        self.size_bound = size_bound
+        self.component_size = component_size
+
+
+class IndexStateError(ReproError):
+    """Raised when an index is used before it is built or after corruption."""

@@ -1,0 +1,15 @@
+"""Flow and cut algorithms used as exact substrates and test oracles."""
+
+from repro.flow.dinic import Dinic, edge_connectivity_between, global_edge_connectivity
+from repro.flow.gomory_hu import GomoryHuTree, all_pairs_min_cut, build_gomory_hu
+from repro.flow.stoer_wagner import stoer_wagner_min_cut
+
+__all__ = [
+    "Dinic",
+    "edge_connectivity_between",
+    "global_edge_connectivity",
+    "stoer_wagner_min_cut",
+    "GomoryHuTree",
+    "build_gomory_hu",
+    "all_pairs_min_cut",
+]

@@ -1,0 +1,145 @@
+"""Dinic's max-flow algorithm and edge-connectivity helpers.
+
+Edge connectivity is the classical substrate the paper contrasts with
+(Section 1 "Edge-Connectivity" related work): ``λ(u, v)`` = value of a
+maximum flow between ``u`` and ``v`` with unit edge capacities.  The
+library uses it as *ground truth* in tests — note that pairwise edge
+connectivity upper-bounds steiner-connectivity (``sc(u,v) <= λ(u,v)``)
+but is not equal to it in general, because sc requires an entire
+k-edge connected *induced component*, not just k edge-disjoint paths.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.graph.graph import Graph
+
+
+class Dinic:
+    """Max-flow on a directed residual network (unit or integer capacities)."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self.n = num_vertices
+        # Arc arrays: to[i], cap[i]; arc i and i^1 are mutual residuals.
+        self._to: List[int] = []
+        self._cap: List[int] = []
+        self._head: List[List[int]] = [[] for _ in range(num_vertices)]
+
+    def add_edge(self, u: int, v: int, cap: int, rcap: int = 0) -> None:
+        """Add arc ``u -> v`` with capacity ``cap`` and reverse capacity ``rcap``."""
+        self._head[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(cap)
+        self._head[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(rcap)
+
+    def add_undirected_edge(self, u: int, v: int, cap: int = 1) -> None:
+        """Add an undirected unit edge (both residual directions share arcs)."""
+        self.add_edge(u, v, cap, cap)
+
+    def max_flow(self, source: int, sink: int, limit: int = 1 << 60) -> int:
+        """Compute the max flow from ``source`` to ``sink`` (capped at ``limit``)."""
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        flow = 0
+        to, cap, head = self._to, self._cap, self._head
+        n = self.n
+        while flow < limit:
+            # BFS level graph.
+            level = [-1] * n
+            level[source] = 0
+            queue = deque((source,))
+            while queue:
+                u = queue.popleft()
+                for arc in head[u]:
+                    v = to[arc]
+                    if cap[arc] > 0 and level[v] < 0:
+                        level[v] = level[u] + 1
+                        queue.append(v)
+            if level[sink] < 0:
+                break
+            # Iterative DFS blocking flow with per-vertex arc cursors.
+            it = [0] * n
+            while True:
+                pushed = self._dfs_push(source, sink, limit - flow, level, it)
+                if pushed == 0:
+                    break
+                flow += pushed
+        return flow
+
+    def _dfs_push(self, source, sink, limit, level, it) -> int:
+        """Find one augmenting path in the level graph (iterative DFS)."""
+        to, cap, head = self._to, self._cap, self._head
+        path: List[int] = []  # arcs along the current path
+        u = source
+        while True:
+            if u == sink:
+                bottleneck = min(limit, min(cap[a] for a in path)) if path else limit
+                for a in path:
+                    cap[a] -= bottleneck
+                    cap[a ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while it[u] < len(head[u]):
+                arc = head[u][it[u]]
+                v = to[arc]
+                if cap[arc] > 0 and level[v] == level[u] + 1:
+                    path.append(arc)
+                    u = v
+                    advanced = True
+                    break
+                it[u] += 1
+            if advanced:
+                continue
+            # Dead end: retreat.
+            level[u] = -1
+            if not path:
+                return 0
+            arc = path.pop()
+            u = to[arc ^ 1]
+            it[u] += 1
+        # unreachable
+
+    def min_cut_side(self, source: int) -> List[bool]:
+        """After max_flow, return the source-side membership of the min cut."""
+        side = [False] * self.n
+        side[source] = True
+        queue = deque((source,))
+        while queue:
+            u = queue.popleft()
+            for arc in self._head[u]:
+                v = self._to[arc]
+                if self._cap[arc] > 0 and not side[v]:
+                    side[v] = True
+                    queue.append(v)
+        return side
+
+
+def edge_connectivity_between(graph: Graph, u: int, v: int) -> int:
+    """Exact pairwise edge connectivity ``λ(u, v)`` via unit-capacity max flow."""
+    dinic = Dinic(graph.num_vertices)
+    for a, b in graph.edges():
+        dinic.add_undirected_edge(a, b, 1)
+    return dinic.max_flow(u, v)
+
+
+def global_edge_connectivity(graph: Graph) -> int:
+    """Exact edge connectivity of the whole graph: ``min_v λ(s, v)``.
+
+    Returns 0 for disconnected or trivial graphs.
+    """
+    n = graph.num_vertices
+    if n <= 1:
+        return 0
+    best = min(graph.degree(u) for u in graph.vertices())
+    if best == 0:
+        return 0
+    source = 0
+    for v in range(1, n):
+        best = min(best, edge_connectivity_between(graph, source, v))
+        if best == 0:
+            break
+    return best

@@ -1,0 +1,21 @@
+"""Graph substrate: data structures, traversal, generators and IO."""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_order,
+    connected_component,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "bfs_order",
+    "connected_component",
+    "connected_components",
+    "is_connected",
+    "largest_connected_component",
+]

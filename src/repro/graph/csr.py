@@ -1,0 +1,122 @@
+"""Immutable CSR (compressed sparse row) snapshot of a graph.
+
+Algorithms with hot loops (maximum adjacency search, BFS over millions
+of vertices) convert a dynamic :class:`~repro.graph.graph.Graph` into a
+CSR snapshot once and then work on flat numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+
+class CSRGraph:
+    """Read-only adjacency in CSR form.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbors of ``u`` are
+        ``indices[indptr[u]:indptr[u+1]]``.
+    indices:
+        ``int64`` array of length ``2m`` (each undirected edge stored in
+        both directions).
+    weights:
+        Optional ``int64`` array parallel to ``indices`` (used by the
+        weighted MST adjacency).
+    """
+
+    __slots__ = ("indptr", "indices", "weights")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Snapshot a dynamic graph into CSR form."""
+        n = graph.num_vertices
+        degrees = np.fromiter(
+            (graph.degree(u) for u in range(n)), dtype=np.int64, count=n
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for u in range(n):
+            for v in graph.neighbors(u):
+                indices[cursor[u]] = v
+                cursor[u] += 1
+        return cls(indptr, indices)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_vertices: int,
+        us: Sequence[int],
+        vs: Sequence[int],
+        weights: Optional[Sequence[int]] = None,
+    ) -> "CSRGraph":
+        """Build from parallel endpoint arrays (one entry per undirected edge)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        heads = np.concatenate([us, vs])
+        tails = np.concatenate([vs, us])
+        if weights is not None:
+            ws = np.asarray(weights, dtype=np.int64)
+            ws = np.concatenate([ws, ws])
+        order = np.argsort(heads, kind="stable")
+        heads = heads[order]
+        tails = tails[order]
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.add.at(indptr[1:], heads, 1)
+        np.cumsum(indptr, out=indptr)
+        if weights is not None:
+            return cls(indptr, tails, ws[order])
+        return cls(indptr, tails)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    def degree(self, u: int) -> int:
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        return self.indices[self.indptr[u]:self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        if self.weights is None:
+            raise ValueError("this CSRGraph carries no edge weights")
+        return self.weights[self.indptr[u]:self.indptr[u + 1]]
+
+    def adjacency_lists(self) -> List[List[int]]:
+        """Materialize plain Python adjacency lists (for pure-Python loops)."""
+        indptr, indices = self.indptr, self.indices
+        return [
+            indices[indptr[u]:indptr[u + 1]].tolist()
+            for u in range(self.num_vertices)
+        ]
+
+    def edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return parallel arrays ``(us, vs)`` with each edge once (u < v)."""
+        n = self.num_vertices
+        heads = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        mask = heads < self.indices
+        return heads[mask], self.indices[mask]

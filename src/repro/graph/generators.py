@@ -1,0 +1,345 @@
+"""Synthetic graph generators.
+
+The paper's evaluation (Section 6) uses two GTGraph models — power-law
+random graphs and SSCA#2 graphs (collections of randomly sized cliques
+plus random inter-clique edges) — along with eleven real graphs from
+SNAP/LAW.  GTGraph is an offline C tool and the real graphs cannot be
+downloaded in this environment, so this module re-implements the two
+synthetic models and provides a *real-graph analog* generator
+(power-law degrees with planted dense communities) used by the dataset
+registry as a stand-in for the SNAP graphs; see DESIGN.md §3.
+
+All generators take an integer ``seed`` and are deterministic for a
+given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.traversal import largest_connected_component
+
+__all__ = [
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "gnm_random_graph",
+    "power_law_graph",
+    "ssca_graph",
+    "real_graph_analog",
+    "clique_chain_graph",
+    "nested_communities_graph",
+    "paper_example_graph",
+    "PAPER_EXAMPLE_SC",
+]
+
+
+# ----------------------------------------------------------------------
+# Deterministic small graphs
+# ----------------------------------------------------------------------
+def complete_graph(n: int) -> Graph:
+    """K_n — (n-1)-edge connected for n >= 2."""
+    graph = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """C_n — 2-edge connected for n >= 3."""
+    if n < 3:
+        raise GraphError(f"cycle needs >= 3 vertices, got {n}")
+    graph = Graph(n)
+    for u in range(n):
+        graph.add_edge(u, (u + 1) % n)
+    return graph
+
+
+def path_graph(n: int) -> Graph:
+    """P_n — every edge is a bridge."""
+    graph = Graph(n)
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Uniform random simple graph with ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"cannot place {m} edges on {n} vertices (max {max_edges})")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    seen = set()
+    while len(seen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(*key)
+    return graph
+
+
+def power_law_graph(
+    n: int, m: int, exponent: float = 2.5, seed: int = 0
+) -> Graph:
+    """Chung–Lu style power-law random graph with ~``m`` edges.
+
+    Vertex ``i`` gets expected-degree weight ``(i + 1) ** (-1/(exponent-1))``
+    (a power-law degree sequence with the given exponent); edges are
+    sampled with endpoint probabilities proportional to the weights until
+    ``m`` distinct edges are placed.  This mirrors the GTGraph "random
+    graph with power-law degree distribution" model used for PL1/PL2.
+    """
+    if n < 2:
+        raise GraphError(f"power-law graph needs >= 2 vertices, got {n}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-1.0 / (exponent - 1.0))
+    probs = weights / weights.sum()
+    graph = Graph(n)
+    seen = set()
+    # Sample in vectorized batches; heavy-tailed sampling repeats hubs, so
+    # oversample and de-duplicate.
+    while len(seen) < m:
+        batch = max(1024, 2 * (m - len(seen)))
+        us = rng.choice(n, size=batch, p=probs)
+        vs = rng.choice(n, size=batch, p=probs)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                continue
+            seen.add(key)
+            graph.add_edge(*key)
+            if len(seen) == m:
+                break
+    return graph
+
+
+def ssca_graph(
+    n: int,
+    max_clique_size: int = 20,
+    inter_clique_edge_ratio: float = 0.4,
+    seed: int = 0,
+) -> Graph:
+    """SSCA#2-style graph: random-size cliques plus random inter-clique edges.
+
+    Vertices are partitioned into cliques whose sizes are uniform in
+    ``[1, max_clique_size]``; all intra-clique edges are added, then
+    ``inter_clique_edge_ratio * n`` random edges between distinct cliques.
+    Consecutive cliques are additionally chained with one edge so the
+    graph is connected, matching the paper's use of connected test graphs.
+    """
+    if n < 1:
+        raise GraphError(f"SSCA graph needs >= 1 vertex, got {n}")
+    if max_clique_size < 1:
+        raise GraphError(f"max_clique_size must be >= 1, got {max_clique_size}")
+    rng = random.Random(seed)
+    graph = Graph(n)
+    cliques: List[List[int]] = []
+    start = 0
+    while start < n:
+        size = min(rng.randint(1, max_clique_size), n - start)
+        cliques.append(list(range(start, start + size)))
+        start += size
+    for members in cliques:
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v)
+    # Chain the cliques so the graph is connected.
+    for prev, cur in zip(cliques, cliques[1:]):
+        u = rng.choice(prev)
+        v = rng.choice(cur)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    # Random inter-clique edges.
+    target = int(inter_clique_edge_ratio * n)
+    placed = 0
+    attempts = 0
+    while placed < target and attempts < 20 * target + 100:
+        attempts += 1
+        a = rng.randrange(len(cliques))
+        b = rng.randrange(len(cliques))
+        if a == b:
+            continue
+        u = rng.choice(cliques[a])
+        v = rng.choice(cliques[b])
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        placed += 1
+    return graph
+
+
+def real_graph_analog(
+    n: int,
+    m: int,
+    num_communities: Optional[int] = None,
+    exponent: float = 2.3,
+    seed: int = 0,
+) -> Graph:
+    """Stand-in for the paper's SNAP graphs (see DESIGN.md §3).
+
+    A Chung–Lu power-law backbone (matching the heavy-tailed degree
+    distribution of social/web graphs) with planted dense communities
+    (random near-cliques over small vertex subsets) so the graph has
+    non-trivial k-edge connected structure at several depths — the
+    property the SMCC algorithms actually exercise.  Roughly half of the
+    edge budget goes to the backbone and half to the communities.
+    Returns the largest connected component, re-indexed densely, exactly
+    as the paper does for its real datasets (Appendix A.4).
+    """
+    if num_communities is None:
+        num_communities = max(1, n // 40)
+    rng = random.Random(seed)
+    backbone_edges = max(n - 1, m // 2)
+    graph = power_law_graph(n, min(backbone_edges, n * (n - 1) // 2), exponent, seed)
+    budget = m - graph.num_edges
+    attempts = 0
+    while budget > 0 and attempts < num_communities * 4:
+        attempts += 1
+        size = rng.randint(4, max(5, min(20, n // 4)))
+        members = rng.sample(range(n), size)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if budget <= 0:
+                    break
+                if rng.random() < 0.85 and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    budget -= 1
+    lcc = largest_connected_component(graph)
+    sub, _ = graph.induced_subgraph(lcc)
+    return sub
+
+
+# ----------------------------------------------------------------------
+# Planted-structure graphs with known answers (used by tests)
+# ----------------------------------------------------------------------
+def clique_chain_graph(clique_sizes: Sequence[int]) -> Graph:
+    """Cliques of the given sizes, joined in a chain by single bridges.
+
+    Ground truth: inside a clique of size ``s`` every edge has
+    steiner-connectivity ``s - 1``; every bridge has steiner-connectivity
+    1.  Useful for exact assertions on sc values and SMCC membership.
+    """
+    if not clique_sizes:
+        raise GraphError("need at least one clique")
+    if any(s < 1 for s in clique_sizes):
+        raise GraphError("clique sizes must be >= 1")
+    graph = Graph(sum(clique_sizes))
+    start = 0
+    anchors: List[int] = []
+    for size in clique_sizes:
+        members = range(start, start + size)
+        for i, u in enumerate(members):
+            for v in list(members)[i + 1:]:
+                graph.add_edge(u, v)
+        anchors.append(start)
+        start += size
+    for a, b in zip(anchors, anchors[1:]):
+        graph.add_edge(a, b)
+    return graph
+
+
+def nested_communities_graph(depth: int = 3, branching: int = 2, base: int = 4) -> Graph:
+    """A hierarchy of increasingly dense nested communities.
+
+    Level-0 groups are cliques of size ``base`` (connectivity ``base-1``);
+    each level ``i`` bundle joins ``branching`` level-``i-1`` bundles with
+    ``depth - i`` parallel edges, producing a nested k-ecc hierarchy whose
+    containment structure mirrors Figure 4 of the paper.
+    """
+    if depth < 1 or branching < 2 or base < 3:
+        raise GraphError("need depth >= 1, branching >= 2, base >= 3")
+    graph = Graph(0)
+
+    def build(level: int) -> List[int]:
+        if level == 0:
+            members = [graph.add_vertex() for _ in range(base)]
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    graph.add_edge(u, v)
+            return members
+        groups = [build(level - 1) for _ in range(branching)]
+        k = max(1, depth - level)
+        for left, right in zip(groups, groups[1:]):
+            for j in range(min(k, len(left), len(right))):
+                graph.add_edge(left[j], right[j])
+        return [v for g in groups for v in g]
+
+    build(depth)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# The paper's running example (Figure 2 / Figure 3)
+# ----------------------------------------------------------------------
+def paper_example_graph() -> Graph:
+    """The 13-vertex graph of the paper's Figure 2, 0-indexed.
+
+    Vertex ``i`` here is the paper's ``v_{i+1}``.  The construction is
+    pinned down by the paper's own examples:
+
+    - ``g1`` = K5 on ``{v1..v5}`` (a 4-edge connected component);
+    - ``g2`` = K4 on ``{v6..v9}``, attached to ``g1`` by the three edges
+      ``(v4,v7), (v5,v7), (v5,v9)`` so that ``g1 ∪ g2`` is a 3-edge
+      connected component (Example 5.2: deleting ``(v5,v9)`` severs the
+      remaining 2-edge attachment, demoting ``(v4,v7)`` and ``(v5,v7)``
+      to sc = 2);
+    - ``g3`` = K4 on ``{v10..v13}``, attached by ``(v5,v12)`` and
+      ``(v9,v11)`` which carry sc = 2 (Example 5.1).
+    """
+    graph = Graph(13)
+    g1 = [0, 1, 2, 3, 4]          # v1..v5
+    g2 = [5, 6, 7, 8]             # v6..v9
+    g3 = [9, 10, 11, 12]          # v10..v13
+    for block in (g1, g2, g3):
+        for i, u in enumerate(block):
+            for v in block[i + 1:]:
+                graph.add_edge(u, v)
+    graph.add_edge(3, 6)          # (v4, v7)
+    graph.add_edge(4, 6)          # (v5, v7)
+    graph.add_edge(4, 8)          # (v5, v9)
+    graph.add_edge(4, 11)         # (v5, v12)
+    graph.add_edge(8, 10)         # (v9, v11)
+    return graph
+
+
+def _paper_example_sc() -> dict:
+    """Ground-truth sc(u, v) for every edge of :func:`paper_example_graph`."""
+    sc = {}
+    g1 = [0, 1, 2, 3, 4]
+    g2 = [5, 6, 7, 8]
+    g3 = [9, 10, 11, 12]
+    for i, u in enumerate(g1):
+        for v in g1[i + 1:]:
+            sc[(u, v)] = 4
+    for block in (g2, g3):
+        for i, u in enumerate(block):
+            for v in block[i + 1:]:
+                sc[(u, v)] = 3
+    sc[(3, 6)] = 3
+    sc[(4, 6)] = 3
+    sc[(4, 8)] = 3
+    sc[(4, 11)] = 2
+    sc[(8, 10)] = 2
+    return sc
+
+
+#: Expected steiner-connectivity of every edge of :func:`paper_example_graph`.
+PAPER_EXAMPLE_SC = _paper_example_sc()

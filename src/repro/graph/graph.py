@@ -1,0 +1,174 @@
+"""A dynamic undirected simple graph over dense integer vertices.
+
+This is the substrate every algorithm in the library runs on.  Vertices
+are the integers ``0 .. n-1``; self-loops and parallel edges are
+rejected (the paper studies simple graphs — parallel edges only appear
+in *contracted* partition graphs, which the KECC engines model
+separately with multiplicity counters).
+
+The class is deliberately small and explicit: adjacency is a list of
+sets, mutation is O(1), and algorithms that need array-shaped input
+snapshot the graph with :class:`repro.graph.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+EdgeKey = Tuple[int, int]
+
+
+def edge_key(u: int, v: int) -> EdgeKey:
+    """Canonical undirected key for an edge: endpoints in sorted order."""
+    return (u, v) if u <= v else (v, u)
+
+
+class Graph:
+    """Mutable undirected simple graph on vertices ``0 .. n-1``."""
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._adj: List[Set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int]], num_vertices: int = 0
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        ``num_vertices`` may be given to pre-allocate isolated vertices;
+        otherwise the vertex count is ``1 + max endpoint``.  Duplicate
+        edges are silently merged (the graph is simple).
+        """
+        graph = cls(num_vertices)
+        for u, v in edges:
+            needed = max(u, v) + 1
+            while graph.num_vertices < needed:
+                graph.add_vertex()
+            if u != v and not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return an independent copy of this graph."""
+        clone = Graph(0)
+        clone._adj = [set(nbrs) for nbrs in self._adj]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._adj))
+
+    def degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._adj[u])
+
+    def neighbors(self, u: int) -> Set[int]:
+        """Return the neighbor set of ``u`` (do not mutate it)."""
+        self._check_vertex(u)
+        return self._adj[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < len(self._adj) and 0 <= v < len(self._adj)):
+            return False
+        return v in self._adj[u]
+
+    def edges(self) -> Iterator[EdgeKey]:
+        """Yield every edge once, as ``(u, v)`` with ``u < v``."""
+        for u, nbrs in enumerate(self._adj):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def edge_list(self) -> List[EdgeKey]:
+        return list(self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Graph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        """Append a fresh isolated vertex and return its id."""
+        self._adj.append(set())
+        return len(self._adj) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)``; rejects self-loops and duplicates."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {v}) not allowed in a simple graph")
+        if v in self._adj[u]:
+            raise GraphError(f"edge ({u}, {v}) already exists")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``; raises if absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Subgraphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(
+        self, vertices: Iterable[int]
+    ) -> Tuple["Graph", List[int]]:
+        """Return ``(subgraph, originals)`` induced by ``vertices``.
+
+        The subgraph has dense ids ``0 .. len(vertices)-1``;
+        ``originals[i]`` is the vertex of ``self`` that became ``i``.
+        """
+        originals = list(dict.fromkeys(vertices))  # de-dup, keep order
+        local: Dict[int, int] = {v: i for i, v in enumerate(originals)}
+        sub = Graph(len(originals))
+        for v, i in local.items():
+            self._check_vertex(v)
+            for w in self._adj[v]:
+                j = local.get(w)
+                if j is not None and i < j:
+                    sub.add_edge(i, j)
+        return sub, originals
+
+    def induced_edges(self, vertices: Iterable[int]) -> List[EdgeKey]:
+        """Return the edges of ``self`` with both endpoints in ``vertices``."""
+        member = set(vertices)
+        out = []
+        for u in member:
+            for v in self._adj[u]:
+                if u < v and v in member:
+                    out.append((u, v))
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_vertex(self, u: int) -> None:
+        if not (0 <= u < len(self._adj)):
+            raise VertexNotFoundError(u)

@@ -1,0 +1,101 @@
+"""Graph serialization: SNAP-style edge lists and a compact binary format.
+
+The SNAP datasets the paper evaluates on are plain whitespace-separated
+edge lists with ``#`` comment lines; :func:`read_edge_list` accepts that
+format directly so real datasets can be dropped in when available.  The
+binary format (numpy ``.npz``) is used by the dataset registry to cache
+generated graphs between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, TextIO, Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_edge_list(source: Union[PathLike, TextIO], relabel: bool = True) -> Graph:
+    """Read a whitespace-separated edge list (SNAP format).
+
+    Lines starting with ``#`` or ``%`` are comments.  Each data line holds
+    two vertex ids; duplicate edges, reversed duplicates, and self-loops
+    are dropped (the library works on simple undirected graphs).  With
+    ``relabel=True`` (default) arbitrary integer ids are densified to
+    ``0 .. n-1`` in first-seen order; otherwise ids are used as-is.
+    """
+    close = False
+    if isinstance(source, (str, os.PathLike)):
+        handle = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        handle = source
+    try:
+        labels: Dict[int, int] = {}
+        edges: List[tuple] = []
+        max_id = -1
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"line {lineno}: expected two vertex ids, got {line!r}")
+            try:
+                a, b = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"line {lineno}: non-integer vertex id in {line!r}") from exc
+            if relabel:
+                u = labels.setdefault(a, len(labels))
+                v = labels.setdefault(b, len(labels))
+            else:
+                if a < 0 or b < 0:
+                    raise GraphError(f"line {lineno}: negative vertex id without relabeling")
+                u, v = a, b
+                max_id = max(max_id, u, v)
+            if u != v:
+                edges.append((u, v))
+        n = len(labels) if relabel else max_id + 1
+        return Graph.from_edges(edges, num_vertices=n)
+    finally:
+        if close:
+            handle.close()
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a SNAP-style edge list (one ``u v`` pair per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# repro graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def save_binary(graph: Graph, path: PathLike) -> None:
+    """Save the graph to a compact numpy ``.npz`` archive."""
+    us, vs = [], []
+    for u, v in graph.edges():
+        us.append(u)
+        vs.append(v)
+    np.savez_compressed(
+        path,
+        num_vertices=np.int64(graph.num_vertices),
+        us=np.asarray(us, dtype=np.int64),
+        vs=np.asarray(vs, dtype=np.int64),
+    )
+
+
+def load_binary(path: PathLike) -> Graph:
+    """Load a graph previously written by :func:`save_binary`."""
+    with np.load(path) as data:
+        n = int(data["num_vertices"])
+        us = data["us"]
+        vs = data["vs"]
+    graph = Graph(n)
+    for u, v in zip(us.tolist(), vs.tolist()):
+        graph.add_edge(u, v)
+    return graph

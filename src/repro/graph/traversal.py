@@ -1,0 +1,70 @@
+"""Traversal helpers: BFS orders and connected components."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List
+
+from repro.graph.graph import Graph
+
+
+def bfs_order(graph: Graph, source: int) -> List[int]:
+    """Return the vertices reachable from ``source`` in BFS order."""
+    graph._check_vertex(source)
+    seen = [False] * graph.num_vertices
+    seen[source] = True
+    order = [source]
+    queue = deque((source,))
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                order.append(v)
+                queue.append(v)
+    return order
+
+
+def connected_component(graph: Graph, source: int) -> List[int]:
+    """Return the connected component containing ``source``."""
+    return bfs_order(graph, source)
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Return all connected components, each as a vertex list."""
+    seen = [False] * graph.num_vertices
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        seen[start] = True
+        comp = [start]
+        queue = deque((start,))
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    comp.append(v)
+                    queue.append(v)
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True if the graph has at most one connected component."""
+    n = graph.num_vertices
+    if n <= 1:
+        return True
+    return len(bfs_order(graph, 0)) == n
+
+
+def largest_connected_component(graph: Graph) -> List[int]:
+    """Return the largest connected component (ties broken arbitrarily).
+
+    The paper extracts the largest connected component of every dataset
+    as its test graph (Appendix A.4); the dataset registry does the same.
+    """
+    if graph.num_vertices == 0:
+        return []
+    return max(connected_components(graph), key=len)

@@ -1,0 +1,160 @@
+"""Export index structures for inspection and visualization.
+
+Three serializations useful when debugging or presenting results:
+
+- :func:`mst_to_dot` — the MST with edge weights, Graphviz DOT;
+- :func:`mst_star_to_dot` — the MST* dendrogram, Graphviz DOT;
+- :func:`hierarchy_to_json` — the nested k-ecc hierarchy (which is what
+  MST* encodes) as plain dicts: each node carries its connectivity and
+  member vertices, children are strictly more connected sub-components.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.index.mst import MSTIndex
+from repro.index.mst_star import MSTStar
+
+
+def mst_to_dot(mst: MSTIndex, name: str = "mst") -> str:
+    """Graphviz DOT for the maximum spanning forest (weights as labels)."""
+    lines = [f"graph {name} {{"]
+    for u, v, w in sorted(mst.tree_edges()):
+        lines.append(f'  {u} -- {v} [label="{w}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mst_star_to_dot(star: MSTStar, name: str = "mst_star") -> str:
+    """Graphviz DOT for the MST* dendrogram.
+
+    Leaves are drawn as boxes labeled with the vertex id; internal
+    nodes as circles labeled with their weight (the sc of the two
+    subtrees they join).
+    """
+    lines = [f"graph {name} {{"]
+    for node in range(star.num_nodes):
+        if node < star.num_leaves:
+            lines.append(f'  n{node} [shape=box, label="{node}"];')
+        else:
+            lines.append(f'  n{node} [shape=circle, label="{star.weights[node]}"];')
+    for node, parent in enumerate(star.parents):
+        if parent >= 0:
+            lines.append(f"  n{parent} -- n{node};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def hierarchy_dict(mst: MSTIndex, min_size: int = 2) -> List[Dict]:
+    """The nested k-ecc hierarchy as plain dictionaries.
+
+    Each node is ``{"connectivity": k, "vertices": [...], "children":
+    [...]}`` where the node's vertex set is a k-edge connected component
+    and every child is a strictly-more-connected component nested inside
+    it.  Roots are the connected components.  Components smaller than
+    ``min_size`` are omitted (singletons carry no structure).
+    """
+
+    def build(vertex_set: List[int]) -> Optional[Dict]:
+        if len(vertex_set) < min_size:
+            return None
+        members = set(vertex_set)
+        internal = [
+            w
+            for u in vertex_set
+            for v, w in mst.tree_adj[u].items()
+            if u < v and v in members
+        ]
+        if not internal:
+            return None
+        k = min(internal)  # the component's connectivity (Lemma 4.5)
+        node: Dict = {
+            "connectivity": k,
+            "vertices": sorted(vertex_set),
+            "children": [],
+        }
+        if any(w > k for w in internal):
+            for child in _split(mst, vertex_set, k + 1):
+                child_node = build(child)
+                if child_node is not None:
+                    node["children"].append(child_node)
+        return node
+
+    roots = []
+    for comp in _split(mst, list(range(mst.n)), 1):
+        root = build(comp)
+        if root is not None:
+            roots.append(root)
+    return roots
+
+
+def _split(mst: MSTIndex, vertex_set: Sequence[int], k: int) -> List[List[int]]:
+    """Components of ``vertex_set`` connected by tree edges of weight >= k."""
+    member = set(vertex_set)
+    seen = set()
+    out: List[List[int]] = []
+    for start in vertex_set:
+        if start in seen:
+            continue
+        seen.add(start)
+        comp = [start]
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v, w in mst.tree_adj[u].items():
+                if w >= k and v in member and v not in seen:
+                    seen.add(v)
+                    comp.append(v)
+                    stack.append(v)
+        out.append(comp)
+    return out
+
+
+def hierarchy_to_json(mst: MSTIndex, min_size: int = 2, indent: int = 2) -> str:
+    """JSON form of :func:`hierarchy_dict`."""
+    return json.dumps(hierarchy_dict(mst, min_size), indent=indent)
+
+
+def to_scipy_linkage(star: MSTStar):
+    """The MST* dendrogram as a SciPy hierarchical-clustering linkage.
+
+    MST* *is* a single-linkage-style dendrogram over steiner-
+    connectivity: each internal node merges two clusters at "distance"
+    ``max_sc + 1 - sc``, which is non-decreasing toward the root
+    (Lemma A.1), exactly as ``scipy.cluster.hierarchy`` requires.  The
+    returned ``(n-1) x 4`` float array plugs directly into
+    ``scipy.cluster.hierarchy.dendrogram`` / ``fcluster``; cutting the
+    dendrogram at distance ``max_sc + 1 - k`` yields the k-edge
+    connected components.
+
+    Requires a connected base graph (a forest has no single dendrogram);
+    raises :class:`ValueError` otherwise.
+    """
+    import numpy as np
+
+    n = star.num_leaves
+    internal = star.num_nodes - n
+    if internal != n - 1:
+        raise ValueError(
+            "scipy linkage needs a connected graph (spanning tree, not forest)"
+        )
+    max_w = max((star.weights[node] for node in range(n, star.num_nodes)), default=0)
+    children: List[List[int]] = [[] for _ in range(star.num_nodes)]
+    for node, parent in enumerate(star.parents):
+        if parent >= 0:
+            children[parent].append(node)
+    linkage = np.zeros((internal, 4), dtype=np.float64)
+    counts = [1] * star.num_nodes
+    # Internal ids n .. 2n-2 were assigned in weight-descending creation
+    # order, so children always precede parents — valid linkage order.
+    for node in range(n, star.num_nodes):
+        left, right = children[node]
+        counts[node] = counts[left] + counts[right]
+        row = node - n
+        linkage[row, 0] = left
+        linkage[row, 1] = right
+        linkage[row, 2] = max_w + 1 - star.weights[node]
+        linkage[row, 3] = counts[node]
+    return linkage

@@ -1,0 +1,309 @@
+"""Incremental index maintenance under edge insertions and deletions.
+
+Section 5.2 of the paper.  The key locality result (Observations I/II,
+via Lemmas 5.2–5.4): when edge ``(u, v)`` with ``k = sc(u, v)`` changes,
+
+- only edges inside ``g_{u,v}`` — the SMCC of ``{u, v}`` — can change
+  steiner-connectivity, and only between ``k`` and ``k ∓ 1``;
+- every (k+1)-edge connected component inside ``g_{u,v}`` can be
+  *contracted* to a super-vertex before recomputation, because its
+  internal edges (sc >= k+1) are unaffected.
+
+Conveniently, the (k+1)-eccs inside ``g_{u,v}`` can be read directly off
+the MST: they are the components connected by tree edges of weight
+>= k+1 (Lemma 4.6), so the contraction step costs no KECC computation.
+
+After the connectivity graph is patched, the MST is repaired via the
+four cases of Section 5.2.3 (delete edge, batch decrement, insert edge,
+batch increment) using the bucketized non-tree edge structure ``NT``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.graph import edge_key
+from repro.index.connectivity_graph import ConnectivityGraph
+from repro.index.mst import MSTIndex
+from repro.kecc import get_engine
+
+Edge = Tuple[int, int]
+
+
+class IndexMaintainer:
+    """Applies edge updates to ``(G, G_c, MST)`` in lockstep.
+
+    Parameters
+    ----------
+    conn_graph:
+        The connectivity graph (which wraps and mutates the base graph).
+    mst:
+        The MST index built from ``conn_graph``.
+    engine:
+        KECC engine name used for local recomputation (default exact).
+    """
+
+    def __init__(
+        self,
+        conn_graph: ConnectivityGraph,
+        mst: MSTIndex,
+        engine: str = "exact",
+        **engine_kwargs,
+    ) -> None:
+        self.conn = conn_graph
+        self.mst = mst
+        self._kecc = get_engine(engine)
+        self._engine_kwargs = engine_kwargs
+
+    # ------------------------------------------------------------------
+    # Edge deletion (Algorithm 7 + MST cases I and II)
+    # ------------------------------------------------------------------
+    def delete_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Delete edge ``(u, v)``; return the sc changes applied.
+
+        The return value lists ``(a, b, new_sc)`` for every *other* edge
+        whose steiner-connectivity changed (each drops by exactly 1,
+        Observation I).
+        """
+        graph = self.conn.graph
+        if not graph.has_edge(u, v):
+            raise GraphError(f"cannot delete missing edge ({u}, {v})")
+        k_uv = self.conn.weight(u, v)
+        # g_{u,v}: the SMCC of {u, v} = k_uv-ecc containing them (Lemma 4.6).
+        component = self.mst.vertices_with_connectivity(u, k_uv)
+        self.conn.remove_edge(u, v)
+        self._mst_delete_edge(u, v)
+
+        # Contract the (k+1)-eccs of g_{u,v}^- and recompute k-eccs.
+        demoted = self._recompute_after_delete(component, k_uv, (u, v))
+        self._apply_decrements(demoted, k_uv)
+        return [(a, b, k_uv - 1) for a, b in demoted]
+
+    def _apply_decrements(self, demoted: List[Edge], old_weight: int) -> None:
+        """Case II, batched: drop every edge in ``demoted`` by one.
+
+        Phase 1 updates all stored weights first, so that a demoted NT
+        edge can never be swapped into the tree at its stale weight;
+        phase 2 then performs improving swaps (replace a demoted tree
+        edge with a genuine ``old_weight`` NT edge crossing its cut)
+        until a fixpoint, which restores tree maximality.
+        """
+        mst = self.mst
+        new_weight = old_weight - 1
+        tree_demoted: List[Edge] = []
+        for a, b in demoted:
+            self.conn.set_weight(a, b, new_weight)
+            if (a, b) in mst.non_tree:
+                mst.non_tree.relocate(a, b, new_weight)
+            else:
+                mst.set_tree_weight(a, b, new_weight)
+                tree_demoted.append((a, b))
+        changed = True
+        while changed:
+            changed = False
+            for a, b in tree_demoted:
+                if not mst.has_tree_edge(a, b):
+                    continue  # already swapped out
+                mst.remove_tree_edge(a, b)
+                side = set(mst.tree_component(a))
+                replacement: Optional[Edge] = None
+                for x, y in mst.non_tree.edges_with_weight(old_weight):
+                    if (x in side) != (y in side):
+                        replacement = (x, y)
+                        break
+                if replacement is None:
+                    mst.add_tree_edge(a, b, new_weight)
+                else:
+                    x, y = replacement
+                    mst.non_tree.remove(x, y)
+                    mst.add_tree_edge(x, y, old_weight)
+                    mst.non_tree.add(a, b, new_weight)
+                    changed = True
+
+    def _recompute_after_delete(
+        self, component: List[int], k: int, deleted: Edge
+    ) -> List[Edge]:
+        """Algorithm 7 lines 3-4: edges of ``g_{u,v}^-`` that drop to k-1."""
+        super_of, num_supers = self._contract_heavy_components(component, k)
+        deleted_key = edge_key(*deleted)
+        local_edges: List[Edge] = []
+        original: List[Edge] = []
+        for a, b in self.conn.graph.induced_edges(component):
+            if edge_key(a, b) == deleted_key:
+                continue
+            sa, sb = super_of[a], super_of[b]
+            if sa == sb:
+                continue  # inside a (k+1)-ecc: sc >= k+1, unaffected
+            local_edges.append((sa, sb))
+            original.append((a, b))
+        if not local_edges:
+            return []
+        groups = self._kecc(num_supers, local_edges, k, **self._engine_kwargs)
+        owner: Dict[int, int] = {}
+        for gid, group in enumerate(groups):
+            for s in group:
+                owner[s] = gid
+        return [
+            orig
+            for orig, (sa, sb) in zip(original, local_edges)
+            if owner[sa] != owner[sb]
+        ]
+
+    # ------------------------------------------------------------------
+    # Edge insertion (Algorithm 8 + MST cases III and IV)
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Insert edge ``(u, v)``; return the sc changes applied.
+
+        The return value lists ``(a, b, new_sc)`` for every edge whose
+        steiner-connectivity changed, *including* the new edge itself.
+        """
+        graph = self.conn.graph
+        while graph.num_vertices <= max(u, v):
+            self.conn.add_vertex()
+            self.mst.add_vertex()
+        if graph.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) already exists")
+        if u == v:
+            raise GraphError("self-loops are not allowed")
+
+        if not self.mst.same_tree(u, v):
+            # Bridging two components: the new edge is a bridge, sc = 1;
+            # no other edge can change (Lemma 5.4 with k_uv undefined/0).
+            self.conn.add_edge(u, v, 1)
+            self.mst.add_tree_edge(u, v, 1)
+            return [(u, v, 1)]
+
+        k_uv = self.mst.steiner_connectivity([u, v])
+        component = self.mst.vertices_with_connectivity(u, k_uv)
+        self.conn.add_edge(u, v, k_uv)  # provisional weight, fixed below
+
+        promoted, new_edge_sc = self._recompute_after_insert(
+            component, k_uv, (u, v)
+        )
+        changes: List[Tuple[int, int, int]] = []
+        self.conn.set_weight(u, v, new_edge_sc)
+        self._mst_insert_edge(u, v, new_edge_sc)
+        changes.append((u, v, new_edge_sc))
+        for a, b in promoted:
+            self.conn.set_weight(a, b, k_uv + 1)
+            self._mst_increment_edge(a, b, k_uv)
+            changes.append((a, b, k_uv + 1))
+        return changes
+
+    def _recompute_after_insert(
+        self, component: List[int], k: int, inserted: Edge
+    ) -> Tuple[List[Edge], int]:
+        """Algorithm 8 lines 3-5.
+
+        Returns ``(promoted_edges, sc_of_new_edge)``: the pre-existing
+        edges whose sc rises to k+1, and the sc of the inserted edge
+        itself (k+1 if it landed inside a new (k+1)-ecc, else k).
+        """
+        super_of, num_supers = self._contract_heavy_components(component, k)
+        inserted_key = edge_key(*inserted)
+        local_edges: List[Edge] = []
+        original: List[Edge] = []
+        for a, b in self.conn.graph.induced_edges(component):
+            sa, sb = super_of[a], super_of[b]
+            if sa == sb:
+                # Inside a (k+1)-ecc already.  The *new* edge can land
+                # here when both endpoints share a (k+1)-ecc.
+                continue
+            local_edges.append((sa, sb))
+            original.append((a, b))
+        su, sv = super_of[inserted[0]], super_of[inserted[1]]
+        if su == sv:
+            # Both endpoints inside one (k+1)-ecc: new edge gets k+1 and
+            # nothing else changes.
+            return [], k + 1
+        groups = self._kecc(num_supers, local_edges, k + 1, **self._engine_kwargs)
+        owner: Dict[int, int] = {}
+        for gid, group in enumerate(groups):
+            for s in group:
+                owner[s] = gid
+        promoted: List[Edge] = []
+        new_edge_sc = k
+        for orig, (sa, sb) in zip(original, local_edges):
+            if owner[sa] == owner[sb]:
+                if edge_key(*orig) == inserted_key:
+                    new_edge_sc = k + 1
+                else:
+                    promoted.append(orig)
+        return promoted, new_edge_sc
+
+    # ------------------------------------------------------------------
+    # Contraction helper shared by both directions
+    # ------------------------------------------------------------------
+    def _contract_heavy_components(
+        self, component: List[int], k: int
+    ) -> Tuple[Dict[int, int], int]:
+        """Contract the (k+1)-eccs inside ``component`` into super-vertices.
+
+        The (k+1)-eccs are exactly the classes connected by MST edges of
+        weight >= k+1 (Lemma 4.6), so this is a tree BFS, not a KECC run.
+        Returns ``(vertex -> super id, number of super vertices)``.
+        """
+        member = set(component)
+        super_of: Dict[int, int] = {}
+        next_super = 0
+        tree_adj = self.mst.tree_adj
+        for start in component:
+            if start in super_of:
+                continue
+            super_of[start] = next_super
+            queue = deque((start,))
+            while queue:
+                a = queue.popleft()
+                for b, w in tree_adj[a].items():
+                    if w >= k + 1 and b in member and b not in super_of:
+                        super_of[b] = next_super
+                        queue.append(b)
+            next_super += 1
+        return super_of, next_super
+
+    # ------------------------------------------------------------------
+    # MST repair: the four cases of Section 5.2.3
+    # ------------------------------------------------------------------
+    def _mst_delete_edge(self, u: int, v: int) -> None:
+        """Case I: edge ``(u, v)`` disappears from the connectivity graph."""
+        mst = self.mst
+        if (u, v) in mst.non_tree:
+            mst.non_tree.remove(u, v)
+            return
+        mst.remove_tree_edge(u, v)
+        # Try to reconnect the two trees with the heaviest crossing NT edge.
+        side = set(mst.tree_component(u))
+        for a, b, w in mst.non_tree.iter_non_increasing():
+            if (a in side) != (b in side):
+                mst.non_tree.remove(a, b)
+                mst.add_tree_edge(a, b, w)
+                return
+        # No replacement: the graph itself is now disconnected; keep forest.
+
+    def _mst_insert_edge(self, u: int, v: int, weight: int) -> None:
+        """Case III: a new edge ``(u, v)`` with the given weight appears."""
+        mst = self.mst
+        path = mst.tree_path(u, v)
+        if path is None:
+            mst.add_tree_edge(u, v, weight)
+            return
+        a, b, w = min(path, key=lambda e: e[2])
+        if w < weight:
+            mst.remove_tree_edge(a, b)
+            mst.non_tree.add(a, b, w)
+            mst.add_tree_edge(u, v, weight)
+        else:
+            mst.non_tree.add(u, v, weight)
+
+    def _mst_increment_edge(self, u: int, v: int, old_weight: int) -> None:
+        """Case IV: sc(u, v) rises from ``old_weight`` to ``old_weight + 1``."""
+        mst = self.mst
+        new_weight = old_weight + 1
+        if mst.has_tree_edge(u, v):
+            mst.set_tree_weight(u, v, new_weight)
+            return
+        mst.non_tree.remove(u, v)
+        self._mst_insert_edge(u, v, new_weight)

@@ -1,0 +1,75 @@
+"""k-edge connected component (KECC) engines.
+
+Three independent engines compute the k-edge connected components of a
+graph, all sharing the same interface (``(num_vertices, edges, k) ->
+vertex groups``):
+
+- :func:`repro.kecc.exact.keccs_exact` — the decomposition-based exact
+  algorithm of Chang et al. (SIGMOD'13), the paper's ``KECCs-Exact``
+  (Algorithm 13), built on maximum adjacency search and super-vertex
+  contraction.  This is the production engine used by index construction.
+- :func:`repro.kecc.random_contract.keccs_random` — the Monte Carlo
+  random-contraction algorithm of Akiba et al. (CIKM'13), the paper's
+  ``KECCs-Random``.
+- :func:`repro.kecc.cut_based.keccs_cut_based` — a cut-based reference
+  engine (recursive Stoer–Wagner), in the family of [25, 31, 34]; slow
+  but exact, used as the oracle in tests.
+"""
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.kecc.core_decomposition import (
+    core_numbers,
+    k_core_vertices,
+    keccs_with_core_pruning,
+)
+from repro.kecc.cut_based import keccs_cut_based
+from repro.kecc.exact import keccs_exact
+from repro.kecc.random_contract import keccs_random
+from repro.kecc.sparsify import forest_decomposition, sparse_certificate
+
+__all__ = [
+    "keccs_exact",
+    "keccs_random",
+    "keccs_cut_based",
+    "get_engine",
+    "removed_edges",
+    "forest_decomposition",
+    "sparse_certificate",
+    "core_numbers",
+    "k_core_vertices",
+    "keccs_with_core_pruning",
+]
+
+_ENGINES = {
+    "exact": keccs_exact,
+    "random": keccs_random,
+    "cut": keccs_cut_based,
+}
+
+
+def get_engine(name: str) -> Callable:
+    """Look up a KECC engine by name: ``exact``, ``random`` or ``cut``."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown KECC engine {name!r}; choose from {sorted(_ENGINES)}"
+        ) from None
+
+
+def removed_edges(
+    groups: List[List[int]], edges: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Edges that cross groups — exactly the edges 'removed' by ComputeKECCs.
+
+    Algorithm 6 of the paper assigns ``sc`` to an edge at the moment it is
+    removed (Lemma 5.1); since the groups partition the vertices, the
+    removed edges are precisely those whose endpoints fall in different
+    groups.
+    """
+    owner = {}
+    for gid, group in enumerate(groups):
+        for v in group:
+            owner[v] = gid
+    return [(u, v) for u, v in edges if owner[u] != owner[v]]

@@ -1,0 +1,97 @@
+"""Maximum adjacency search (MAS) over weighted multigraph adjacency.
+
+MAS orders the vertices of a connected graph so that each successive
+vertex is the one most tightly connected (by total edge multiplicity)
+to the prefix.  Lemma A.3 of the paper gives the two facts the exact
+KECC engine exploits:
+
+- if ``w(L, u) >= k`` then ``u`` and its predecessor are k-edge
+  connected (safe to contract);
+- if the *last* vertex has ``w(L, v) < k`` then no vertex is k-edge
+  connected to it (safe to peel off as its own piece).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def max_adjacency_order(
+    adj: Dict[int, Dict[int, int]], start: int
+) -> Tuple[List[int], List[int]]:
+    """Compute a maximum adjacency order of the component containing ``start``.
+
+    Parameters
+    ----------
+    adj:
+        Weighted adjacency ``{u: {v: multiplicity}}`` (a list also works
+        when vertices are dense ints); only the component reachable from
+        ``start`` is ordered.
+
+    Returns
+    -------
+    ``(order, weights)`` where ``weights[i] = w(order[:i], order[i])`` —
+    the number of edges (with multiplicity) from ``order[i]`` back into
+    the prefix.  ``weights[0] == 0`` by definition.
+
+    Implementation: lazy bucket queue keyed by attachment weight (weights
+    are small integers that only grow, the classical linear-time MAS
+    structure) with ``attach[v] = None`` doubling as the done-mark.
+    """
+    attach: Dict[int, Optional[int]] = {start: 0}
+    order: List[int] = []
+    weights: List[int] = []
+    buckets: Dict[int, List[int]] = {0: [start]}
+    cur = 0
+    pending = 1  # discovered but not yet ordered
+    while pending:
+        bucket = buckets.get(cur)
+        if not bucket:
+            cur -= 1
+            continue
+        u = bucket.pop()
+        a = attach[u]
+        if a is None or a != cur:
+            continue  # stale entry (done, or superseded by a heavier one)
+        attach[u] = None
+        order.append(u)
+        weights.append(cur)
+        pending -= 1
+        for v, mult in adj[u].items():
+            prev = attach.get(v, 0)
+            if prev is None:
+                continue
+            if prev == 0 and v not in attach:
+                pending += 1
+            new = prev + mult
+            attach[v] = new
+            entry = buckets.get(new)
+            if entry is None:
+                buckets[new] = [v]
+            else:
+                entry.append(v)
+            if new > cur:
+                cur = new
+    return order, weights
+
+
+def components_of(adj: Dict[int, Dict[int, int]], nodes: Iterable[int]) -> List[List[int]]:
+    """Connected components of the multigraph restricted to ``nodes``."""
+    nodes = list(nodes)
+    seen = set()
+    comps: List[List[int]] = []
+    for s in nodes:
+        if s in seen:
+            continue
+        seen.add(s)
+        comp = [s]
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    comp.append(v)
+                    stack.append(v)
+        comps.append(comp)
+    return comps

@@ -1,0 +1,206 @@
+"""KECCs-Random: Monte Carlo k-edge connected components by random contraction.
+
+This is the paper's ``KECCs-Random`` baseline — the algorithm of Akiba,
+Iwata and Yoshida, "Linear-time enumeration of maximal k-edge-connected
+subgraphs in large networks by random contraction", CIKM 2013 (ref [4]).
+
+The procedure on a (sub)graph:
+
+1. *Trim*: repeatedly delete vertices of degree < k — such a vertex is
+   surrounded by a cut of size < k, so it is a singleton piece.
+2. *Random contraction*: contract edges in a uniformly random order,
+   maintaining each super-vertex's boundary degree.  The moment a
+   super-vertex's boundary degree drops below ``k`` (while it does not
+   yet span the whole graph), its member set is separated by a cut of
+   size < k; split the graph there and recurse on both sides.
+3. If ``trials`` independent contraction sequences all finish without
+   exposing a small cut, declare the piece k-edge connected.  This is a
+   Monte Carlo decision — with the paper's default of 50 trials the
+   failure probability is negligible in practice, and the paper itself
+   runs it with t = 50.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int]
+
+DEFAULT_TRIALS = 50
+
+
+def keccs_random(
+    num_vertices: int,
+    edges: Sequence[Edge],
+    k: int,
+    trials: int = DEFAULT_TRIALS,
+    seed: Optional[int] = None,
+) -> List[List[int]]:
+    """Partition ``0 .. num_vertices-1`` into k-edge connected components.
+
+    Same interface as :func:`repro.kecc.exact.keccs_exact`; the result is
+    correct with high probability (one-sided error: a piece may be
+    declared k-edge connected when it is not, never the reverse).
+    """
+    if num_vertices == 0:
+        return []
+    rng = random.Random(seed)
+    groups: List[List[int]] = []
+    stack: List[Tuple[List[int], List[Edge]]] = [
+        (list(range(num_vertices)), [e for e in edges if e[0] != e[1]])
+    ]
+    while stack:
+        vertices, piece_edges = stack.pop()
+        if k <= 1:
+            groups.extend(_split_components(vertices, piece_edges))
+            continue
+        singletons, core_vs, core_es = _trim(vertices, piece_edges, k)
+        groups.extend([v] for v in singletons)
+        if not core_vs:
+            continue
+        if len(core_vs) == 1:
+            groups.append(core_vs)
+            continue
+        side = None
+        for _ in range(trials):
+            side = _find_small_cut(core_vs, core_es, k, rng)
+            if side is not None:
+                break
+        if side is None:
+            groups.append(core_vs)
+            continue
+        side_set = set(side)
+        rest = [v for v in core_vs if v not in side_set]
+        side_edges = [(u, v) for u, v in core_es if u in side_set and v in side_set]
+        rest_edges = [
+            (u, v) for u, v in core_es if u not in side_set and v not in side_set
+        ]
+        stack.append((side, side_edges))
+        stack.append((rest, rest_edges))
+    return groups
+
+
+def _split_components(vertices: List[int], edges: List[Edge]) -> List[List[int]]:
+    """Connected components of the piece (1-edge connected components)."""
+    adj: Dict[int, List[int]] = {v: [] for v in vertices}
+    for u, v in edges:
+        adj[u].append(v)
+        adj[v].append(u)
+    seen = set()
+    comps: List[List[int]] = []
+    for s in vertices:
+        if s in seen:
+            continue
+        seen.add(s)
+        comp = [s]
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for w in adj[u]:
+                if w not in seen:
+                    seen.add(w)
+                    comp.append(w)
+                    stack.append(w)
+        comps.append(comp)
+    return comps
+
+
+def _trim(
+    vertices: List[int], edges: List[Edge], k: int
+) -> Tuple[List[int], List[int], List[Edge]]:
+    """Iteratively remove vertices of degree < k.
+
+    Returns ``(removed_singletons, remaining_vertices, remaining_edges)``.
+    """
+    adj: Dict[int, Dict[int, int]] = {v: {} for v in vertices}
+    for u, v in edges:
+        adj[u][v] = adj[u].get(v, 0) + 1
+        adj[v][u] = adj[v].get(u, 0) + 1
+    degree = {v: sum(adj[v].values()) for v in vertices}
+    queue = [v for v in vertices if degree[v] < k]
+    removed = set()
+    while queue:
+        v = queue.pop()
+        if v in removed:
+            continue
+        removed.add(v)
+        for w, mult in adj[v].items():
+            if w in removed:
+                continue
+            degree[w] -= mult
+            if degree[w] < k:
+                queue.append(w)
+    if not removed:
+        return [], vertices, edges
+    remaining = [v for v in vertices if v not in removed]
+    kept = [(u, v) for u, v in edges if u not in removed and v not in removed]
+    return sorted(removed), remaining, kept
+
+
+def _find_small_cut(
+    vertices: List[int], edges: List[Edge], k: int, rng: random.Random
+) -> Optional[List[int]]:
+    """One random contraction pass; return one side of a < k cut, or None.
+
+    Super-vertices are tracked with union-find; adjacency multiplicity
+    maps are merged small-to-large so a full pass costs
+    ``O(|E| log |V|)`` amortized.
+    """
+    index = {v: i for i, v in enumerate(vertices)}
+    n = len(vertices)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    adj: List[Dict[int, int]] = [dict() for _ in range(n)]
+    for u, v in edges:
+        iu, iv = index[u], index[v]
+        adj[iu][iv] = adj[iu].get(iv, 0) + 1
+        adj[iv][iu] = adj[iv].get(iu, 0) + 1
+    degree = [sum(neighbors.values()) for neighbors in adj]
+    members: List[List[int]] = [[v] for v in vertices]
+    # A pre-existing degree < k vertex is itself a small cut (callers trim
+    # first, but contracted inputs may regress).
+    for i in range(n):
+        if degree[i] < k:
+            return members[i]
+
+    # Invariant: every alive root's adjacency map is keyed by current roots
+    # only, so multiplicity lookups between super-vertices are exact.
+    order = list(range(len(edges)))
+    rng.shuffle(order)
+    alive = n
+    for edge_idx in order:
+        u, v = edges[edge_idx]
+        ru, rv = find(index[u]), find(index[v])
+        if ru == rv:
+            continue
+        # Merge the smaller adjacency map into the larger one.
+        if len(adj[ru]) < len(adj[rv]):
+            ru, rv = rv, ru
+        mult = adj[ru].pop(rv, 0)
+        adj[rv].pop(ru, None)
+        parent[rv] = ru
+        members[ru].extend(members[rv])
+        members[rv] = []
+        for w, m in adj[rv].items():
+            # w is a current root (invariant) distinct from ru and rv;
+            # repoint its back-edge from rv to ru.
+            mw = adj[w].pop(rv)
+            adj[w][ru] = adj[w].get(ru, 0) + mw
+            adj[ru][w] = adj[ru].get(w, 0) + m
+        adj[rv] = {}
+        degree[ru] = degree[ru] + degree[rv] - 2 * mult
+        alive -= 1
+        if alive > 1 and degree[ru] < k:
+            return members[ru]
+    if alive > 1:
+        # Disconnected input: a connected component is a 0-cut side.
+        root = find(0)
+        return members[root]
+    return None

@@ -1,0 +1,11 @@
+"""Shared low-level data structures used across the repro library."""
+
+from repro.util.bucket_queue import EdgeBuckets, MaxBucketQueue
+from repro.util.disjoint_set import DisjointSet, DisjointSetWithRoot
+
+__all__ = [
+    "DisjointSet",
+    "DisjointSetWithRoot",
+    "MaxBucketQueue",
+    "EdgeBuckets",
+]

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.queries import SMCCIndex
+from repro.graph.generators import (
+    clique_chain_graph,
+    gnm_random_graph,
+    paper_example_graph,
+)
+
+
+@pytest.fixture
+def paper_graph():
+    """The 13-vertex running example of the paper (Figure 2)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def paper_index(paper_graph):
+    """A full SMCC index over the paper's example graph."""
+    return SMCCIndex.build(paper_graph)
+
+
+@pytest.fixture
+def chain_graph():
+    """Cliques K5 - K4 - K6 joined by bridges (known sc values)."""
+    return clique_chain_graph([5, 4, 6])
+
+
+@pytest.fixture
+def chain_index(chain_graph):
+    return SMCCIndex.build(chain_graph)
+
+
+def random_connected_graph(seed: int, min_n: int = 6, max_n: int = 28):
+    """A random connected simple graph (test helper, deterministic)."""
+    rng = random.Random(seed)
+    n = rng.randint(min_n, max_n)
+    max_m = n * (n - 1) // 2
+    m = rng.randint(n - 1, min(3 * n, max_m))
+    graph = gnm_random_graph(n, m, seed)
+    # Stitch components together to guarantee connectivity.
+    from repro.graph.traversal import connected_components
+
+    comps = connected_components(graph)
+    for a, b in zip(comps, comps[1:]):
+        graph.add_edge(a[0], b[0])
+    return graph
+
+
+def brute_force_sc_pairs(graph):
+    """All-pairs steiner-connectivity via the cut-based oracle.
+
+    sc(u, v) = max k such that u and v share a k-edge connected
+    component.  Exponential-free but slow; for test graphs only.
+    """
+    from repro.kecc import keccs_cut_based
+
+    n = graph.num_vertices
+    edges = graph.edge_list()
+    sc = {}
+    k = 1
+    groups = keccs_cut_based(n, edges, 1)
+    _record(sc, groups, 1)
+    while True:
+        k += 1
+        groups = keccs_cut_based(n, edges, k)
+        if all(len(g) < 2 for g in groups):
+            break
+        _record(sc, groups, k)
+    return sc
+
+
+def _record(sc, groups, k):
+    for group in groups:
+        if len(group) < 2:
+            continue
+        group = sorted(group)
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                sc[(u, v)] = k

@@ -1,0 +1,113 @@
+"""Ablation variants must return *identical answers* to the optimized code."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.bench.ablations import (
+    NoContractionMaintainer,
+    sc_full_bfs,
+    smcc_l_heap,
+    smcc_unsorted_adjacency,
+)
+from repro.errors import InfeasibleSizeConstraintError
+from repro.graph.generators import paper_example_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.maintenance import IndexMaintainer
+from repro.index.mst import build_mst
+
+
+def mst_for(graph):
+    return build_mst(conn_graph_sharing(graph))
+
+
+class TestQueryAblations:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_smcc_unsorted_matches(self, seed):
+        graph = random_connected_graph(seed + 500)
+        mst = mst_for(graph)
+        rng = random.Random(seed)
+        for _ in range(8):
+            q = rng.sample(range(graph.num_vertices), rng.randint(2, 4))
+            a_verts, a_sc = smcc_unsorted_adjacency(mst, q)
+            b_verts, b_sc = mst.smcc(q)
+            assert sorted(a_verts) == sorted(b_verts)
+            assert a_sc == b_sc
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_smcc_l_heap_matches(self, seed):
+        graph = random_connected_graph(seed + 510)
+        mst = mst_for(graph)
+        rng = random.Random(seed)
+        for _ in range(8):
+            q = rng.sample(range(graph.num_vertices), 2)
+            bound = rng.randint(2, graph.num_vertices)
+            try:
+                a = smcc_l_heap(mst, q, bound)
+                a = (sorted(a[0]), a[1])
+            except InfeasibleSizeConstraintError:
+                a = None
+            try:
+                b = mst.smcc_l(q, bound)
+                b = (sorted(b[0]), b[1])
+            except InfeasibleSizeConstraintError:
+                b = None
+            assert a == b
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sc_full_bfs_matches(self, seed):
+        graph = random_connected_graph(seed + 520)
+        mst = mst_for(graph)
+        rng = random.Random(seed)
+        for _ in range(10):
+            q = rng.sample(range(graph.num_vertices), rng.randint(2, 5))
+            assert sc_full_bfs(mst, q) == mst.steiner_connectivity(q)
+
+    def test_sc_full_bfs_singleton(self):
+        mst = mst_for(paper_example_graph())
+        assert sc_full_bfs(mst, [0]) == mst.steiner_connectivity([0])
+
+
+class TestMaintenanceAblation:
+    def test_paper_examples_match(self):
+        for op, args in (("delete", (4, 8)), ("insert", (3, 8)), ("insert", (6, 9))):
+            graph = paper_example_graph()
+            conn_a = conn_graph_sharing(graph.copy())
+            mst_a = build_mst(conn_a)
+            opt = IndexMaintainer(conn_a, mst_a)
+            graph_b = paper_example_graph()
+            conn_b = conn_graph_sharing(graph_b)
+            mst_b = build_mst(conn_b)
+            abl = NoContractionMaintainer(conn_b, mst_b)
+            a = getattr(opt, f"{op}_edge")(*args)
+            b = getattr(abl, f"{op}_edge")(*args)
+            assert sorted(a) == sorted(b), (op, args)
+            assert conn_a.weights_dict() == conn_b.weights_dict()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_sequences_match(self, seed):
+        rng = random.Random(seed)
+        graph_a = random_connected_graph(seed + 530, max_n=16)
+        graph_b = graph_a.copy()
+        conn_a = conn_graph_sharing(graph_a)
+        mst_a = build_mst(conn_a)
+        opt = IndexMaintainer(conn_a, mst_a)
+        conn_b = conn_graph_sharing(graph_b)
+        mst_b = build_mst(conn_b)
+        abl = NoContractionMaintainer(conn_b, mst_b)
+        n = graph_a.num_vertices
+        for _ in range(12):
+            edges = graph_a.edge_list()
+            if rng.random() < 0.5 and edges:
+                u, v = edges[rng.randrange(len(edges))]
+                opt.delete_edge(u, v)
+                abl.delete_edge(u, v)
+            else:
+                for _ in range(60):
+                    u, v = rng.randrange(n), rng.randrange(n)
+                    if u != v and not graph_a.has_edge(u, v):
+                        opt.insert_edge(u, v)
+                        abl.insert_edge(u, v)
+                        break
+            assert conn_a.weights_dict() == conn_b.weights_dict()

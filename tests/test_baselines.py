@@ -1,0 +1,86 @@
+"""Tests for the Algorithm 1 baselines (Section 3)."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.baselines import sc_baseline, smcc_baseline, smcc_l_baseline
+from repro.core.queries import SMCCIndex
+from repro.errors import (
+    DisconnectedQueryError,
+    EmptyQueryError,
+    InfeasibleSizeConstraintError,
+)
+from repro.graph.generators import paper_example_graph
+from repro.graph.graph import Graph
+
+
+class TestSMCCBaseline:
+    def test_paper_example(self):
+        graph = paper_example_graph()
+        verts, k = smcc_baseline(graph, [0, 3])
+        assert sorted(verts) == [0, 1, 2, 3, 4] and k == 4
+        verts, k = smcc_baseline(graph, [0, 3, 6])
+        assert sorted(verts) == list(range(9)) and k == 3
+
+    def test_random_engine_variant(self):
+        graph = paper_example_graph()
+        verts, k = smcc_baseline(graph, [0, 3], engine="random", seed=2)
+        assert sorted(verts) == [0, 1, 2, 3, 4] and k == 4
+
+    def test_disconnected_raises(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedQueryError):
+            smcc_baseline(graph, [0, 2])
+
+    def test_empty_query_raises(self):
+        with pytest.raises(EmptyQueryError):
+            smcc_baseline(Graph(2), [])
+
+    def test_singleton_query(self):
+        graph = paper_example_graph()
+        verts, k = smcc_baseline(graph, [0])
+        assert sorted(verts) == [0, 1, 2, 3, 4] and k == 4
+
+
+class TestSCBaseline:
+    def test_matches_index(self):
+        graph = paper_example_graph()
+        index = SMCCIndex.build(graph)
+        rng = random.Random(3)
+        for _ in range(8):
+            q = rng.sample(range(13), rng.randint(2, 4))
+            assert sc_baseline(graph, q) == index.steiner_connectivity(q)
+
+
+class TestSMCCLBaseline:
+    def test_paper_example(self):
+        graph = paper_example_graph()
+        verts, k = smcc_l_baseline(graph, [0, 3], 6)
+        assert sorted(verts) == list(range(9)) and k == 3
+
+    def test_infeasible(self):
+        graph = paper_example_graph()
+        with pytest.raises(InfeasibleSizeConstraintError):
+            smcc_l_baseline(graph, [0, 3], 100)
+
+    def test_matches_index_on_random_graphs(self):
+        for seed in range(4):
+            graph = random_connected_graph(seed + 60, max_n=16)
+            index = SMCCIndex.build(graph.copy())
+            rng = random.Random(seed)
+            for _ in range(6):
+                q = rng.sample(range(graph.num_vertices), 2)
+                bound = rng.randint(2, graph.num_vertices)
+                try:
+                    bl_verts, bl_k = smcc_l_baseline(graph, q, bound)
+                    bl = (sorted(bl_verts), bl_k)
+                except InfeasibleSizeConstraintError:
+                    bl = None
+                try:
+                    res = index.smcc_l(q, bound)
+                    opt = (sorted(res.vertices), res.connectivity)
+                except InfeasibleSizeConstraintError:
+                    opt = None
+                assert bl == opt, (seed, q, bound)

@@ -1,0 +1,122 @@
+"""Tests for vectorized batch sc queries and the SciPy linkage export."""
+
+import numpy as np
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import VertexNotFoundError
+from repro.graph.generators import clique_chain_graph, paper_example_graph
+from repro.graph.graph import Graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.export import to_scipy_linkage
+from repro.index.mst import build_mst
+from repro.index.mst_star import build_mst_star
+
+
+def star_for(graph):
+    mst = build_mst(conn_graph_sharing(graph))
+    return mst, build_mst_star(mst)
+
+
+class TestBatchSC:
+    def test_matches_scalar_on_paper_example(self):
+        _, star = star_for(paper_example_graph())
+        us, vs = [], []
+        for u in range(13):
+            for v in range(u + 1, 13):
+                us.append(u)
+                vs.append(v)
+        batch = star.sc_pairs_batch(us, vs)
+        for (u, v), got in zip(zip(us, vs), batch.tolist()):
+            assert got == star.sc_pair(u, v), (u, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_scalar_random(self, seed):
+        graph = random_connected_graph(seed + 1200)
+        _, star = star_for(graph)
+        rng = np.random.default_rng(seed)
+        n = graph.num_vertices
+        us = rng.integers(0, n, size=200)
+        vs = rng.integers(0, n, size=200)
+        mask = us != vs
+        us, vs = us[mask], vs[mask]
+        batch = star.sc_pairs_batch(us, vs)
+        for u, v, got in zip(us.tolist(), vs.tolist(), batch.tolist()):
+            assert got == star.sc_pair(u, v)
+
+    def test_cross_component_yields_zero(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        _, star = star_for(graph)
+        out = star.sc_pairs_batch([0, 0], [1, 2])
+        assert out.tolist() == [1, 0]
+
+    def test_validation(self):
+        _, star = star_for(paper_example_graph())
+        with pytest.raises(ValueError):
+            star.sc_pairs_batch([0], [0])
+        with pytest.raises(VertexNotFoundError):
+            star.sc_pairs_batch([0], [99])
+        with pytest.raises(ValueError):
+            star.sc_pairs_batch([0, 1], [2])
+        assert star.sc_pairs_batch([], []).size == 0
+
+    def test_batch_is_faster_at_scale(self):
+        import time
+
+        graph = random_connected_graph(1250, min_n=150, max_n=200)
+        _, star = star_for(graph)
+        rng = np.random.default_rng(0)
+        n = graph.num_vertices
+        us = rng.integers(0, n - 1, size=5000)
+        vs = us + 1  # always distinct, in range
+        start = time.perf_counter()
+        star.sc_pairs_batch(us, vs)
+        batch_time = time.perf_counter() - start
+        start = time.perf_counter()
+        for u, v in zip(us[:1000].tolist(), vs[:1000].tolist()):
+            star.sc_pair(u, v)
+        scalar_time = (time.perf_counter() - start) * 5  # extrapolate
+        assert batch_time < scalar_time
+
+
+class TestScipyLinkage:
+    def test_valid_linkage(self):
+        _, star = star_for(paper_example_graph())
+        linkage = to_scipy_linkage(star)
+        from scipy.cluster.hierarchy import is_valid_linkage
+
+        assert linkage.shape == (12, 4)
+        assert is_valid_linkage(linkage)
+
+    def test_fcluster_recovers_keccs(self):
+        from scipy.cluster.hierarchy import fcluster
+
+        mst, star = star_for(paper_example_graph())
+        linkage = to_scipy_linkage(star)
+        max_w = 4
+        for k in (2, 3, 4):
+            labels = fcluster(linkage, t=max_w + 1 - k, criterion="distance")
+            by_label = {}
+            for vertex, label in enumerate(labels):
+                by_label.setdefault(label, []).append(vertex)
+            clusters = sorted(tuple(sorted(c)) for c in by_label.values())
+            expected = sorted(tuple(sorted(c)) for c in mst.components_at(k))
+            assert clusters == expected, k
+
+    def test_monotone_distances(self):
+        graph = clique_chain_graph([5, 4, 3])
+        _, star = star_for(graph)
+        linkage = to_scipy_linkage(star)
+        distances = linkage[:, 2]
+        assert (np.diff(distances) >= 0).all()
+
+    def test_forest_rejected(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        _, star = star_for(graph)
+        with pytest.raises(ValueError):
+            to_scipy_linkage(star)
+
+    def test_counts_column(self):
+        _, star = star_for(paper_example_graph())
+        linkage = to_scipy_linkage(star)
+        assert linkage[-1, 3] == 13  # root merges everything

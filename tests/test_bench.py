@@ -1,0 +1,233 @@
+"""Tests for the benchmark substrate: datasets, workloads, reporting, harness."""
+
+import pytest
+
+from repro.bench.datasets import (
+    ALL_DATASETS,
+    DATASETS,
+    QUERY_TABLE_DATASETS,
+    SCALABILITY_DATASETS,
+    dataset_stats,
+    get_dataset,
+    list_datasets,
+)
+from repro.bench.reporting import Table, per_query_us, ratio, time_calls, time_once
+from repro.bench.workloads import (
+    QUERY_SIZES,
+    generate_queries,
+    generate_update_workload,
+)
+from repro.graph.generators import gnm_random_graph
+from repro.graph.traversal import is_connected
+
+
+class TestDatasets:
+    def test_registry_covers_paper(self):
+        # All 11 real graphs, 2 power-law, 5 SSCA + the extra DEEP chain.
+        assert len(ALL_DATASETS) == 18
+        assert "DEEP" in DATASETS and "DEEP" not in ALL_DATASETS
+        assert set(QUERY_TABLE_DATASETS) <= set(DATASETS)
+        assert set(SCALABILITY_DATASETS) <= set(DATASETS)
+        assert len(list_datasets()) == 19
+
+    def test_specs_have_paper_sizes(self):
+        spec = DATASETS["D11"]
+        assert spec.paper_edges == 1_202_513_344
+        assert 0 < spec.scale_factor < 1
+
+    def test_get_dataset_connected_and_deterministic(self):
+        a = get_dataset("D1")
+        b = get_dataset("D1")
+        assert a is b  # memoized
+        assert is_connected(a)
+
+    def test_scale_parameter(self):
+        small = get_dataset("SSCA1", scale=0.25, seed=7)
+        full = get_dataset("SSCA1", scale=1.0, seed=7)
+        assert small.num_vertices < full.num_vertices
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("D99")
+
+    def test_dataset_stats(self):
+        n, m, dbar = dataset_stats("D1")
+        assert n > 0 and m > 0
+        assert dbar == pytest.approx(2 * m / n)
+
+    @pytest.mark.parametrize("name", ALL_DATASETS)
+    def test_every_analog_materializes_connected(self, name):
+        graph = get_dataset(name, scale=0.1, seed=3)
+        assert is_connected(graph)
+        assert graph.num_vertices >= 16
+
+
+class TestWorkloads:
+    def test_generate_queries_shape(self):
+        graph = gnm_random_graph(50, 100, seed=1)
+        queries = generate_queries(graph, 20, 5, seed=2)
+        assert len(queries) == 20
+        assert all(len(q) == 5 and len(set(q)) == 5 for q in queries)
+
+    def test_query_size_too_large(self):
+        graph = gnm_random_graph(4, 3, seed=1)
+        with pytest.raises(ValueError):
+            generate_queries(graph, 1, 10)
+
+    def test_query_sizes_match_paper(self):
+        assert QUERY_SIZES == (2, 5, 10, 20, 30)
+
+    def test_update_workload_valid_sequence(self):
+        graph = gnm_random_graph(30, 80, seed=3)
+        ops = generate_update_workload(graph, 10, 10, seed=4)
+        assert len(ops) == 20
+        sim = graph.copy()
+        for op, u, v in ops:
+            if op == "delete":
+                sim.remove_edge(u, v)  # raises if invalid
+            else:
+                sim.add_edge(u, v)  # raises if duplicate
+
+    def test_update_workload_deterministic(self):
+        graph = gnm_random_graph(30, 80, seed=3)
+        assert generate_update_workload(graph, 5, 5, seed=9) == \
+            generate_update_workload(graph, 5, 5, seed=9)
+
+    def test_local_queries_shape_and_determinism(self):
+        from repro.bench.workloads import generate_local_queries
+
+        graph = gnm_random_graph(60, 150, seed=4)
+        queries = generate_local_queries(graph, 15, 5, seed=2)
+        assert len(queries) == 15
+        assert all(len(q) == 5 and len(set(q)) == 5 for q in queries)
+        assert queries == generate_local_queries(graph, 15, 5, seed=2)
+
+    def test_local_queries_are_actually_local(self):
+        from collections import deque
+
+        from repro.bench.workloads import generate_local_queries
+
+        graph = gnm_random_graph(200, 400, seed=5)
+        for q in generate_local_queries(graph, 10, 4, seed=3):
+            # all query vertices within a small BFS radius of the first
+            dist = {q[0]: 0}
+            queue = deque((q[0],))
+            while queue:
+                u = queue.popleft()
+                if dist[u] >= 6:
+                    continue
+                for v in graph.neighbors(u):
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        queue.append(v)
+            assert all(v in dist for v in q)
+
+
+class TestReporting:
+    def test_table_render(self):
+        t = Table("Demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", None)
+        text = t.render()
+        assert "Demo" in text
+        assert "2.5" in text
+        assert "-" in text  # None formatting
+
+    def test_table_markdown(self):
+        t = Table("Demo", ["a"])
+        t.add_row(3)
+        md = t.to_markdown()
+        assert md.startswith("### Demo")
+        assert "| 3 |" in md
+
+    def test_table_row_arity_checked(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_as_dicts(self):
+        t = Table("Demo", ["a", "b"])
+        t.add_row(1, 2)
+        assert t.as_dicts() == [{"a": "1", "b": "2"}]
+
+    def test_timing_helpers(self):
+        total = time_calls(lambda x: x + 1, [1, 2, 3])
+        assert total >= 0
+        assert time_once(sum, [1, 2]) >= 0
+        assert per_query_us(1.0, 1000) == pytest.approx(1000)
+        assert per_query_us(1.0, 0) is None
+        assert ratio(10, 2) == 5
+        assert ratio(None, 2) is None
+        assert ratio(3, 0) is None
+
+
+class TestHarnessSmoke:
+    """Each experiment function runs end-to-end on a tiny configuration."""
+
+    @pytest.fixture(scope="class")
+    def tiny_profile(self):
+        from repro.bench.harness import Profile
+
+        return Profile(
+            opt_queries=5,
+            baseline_queries=1,
+            blr_queries=1,
+            blr_trials=3,
+            blr_datasets=(),
+            query_size=4,
+            scale=0.05,
+            seed=11,
+        )
+
+    def test_table1_table2(self, tiny_profile):
+        from repro.bench.harness import table1_table2
+
+        table = table1_table2(tiny_profile)
+        assert len(table.rows) == 18
+
+    def test_table3(self, tiny_profile):
+        from repro.bench.harness import table3
+
+        table = table3(tiny_profile, datasets=["D1"])
+        assert len(table.rows) == 1
+
+    def test_table5_and_6(self, tiny_profile):
+        from repro.bench.harness import table5, table6
+
+        assert len(table5(tiny_profile, datasets=["D1"]).rows) == 1
+        assert len(table6(tiny_profile, datasets=["D1"]).rows) == 1
+
+    def test_table7_8_9(self, tiny_profile):
+        from repro.bench.harness import table7, table8, table9
+
+        assert len(table7(tiny_profile, datasets=["SSCA1"]).rows) == 1
+        assert len(table8(tiny_profile, datasets=["SSCA1"]).rows) == 1
+        assert len(table9(tiny_profile, datasets=["SSCA1"]).rows) == 1
+
+    def test_scalability_tables(self, tiny_profile):
+        from repro.bench.harness import table4, table10, table11
+
+        assert len(table4(tiny_profile, datasets=["D5"]).rows) == 1
+        assert len(table10(tiny_profile, datasets=["D5"]).rows) == 1
+        assert len(table11(tiny_profile, datasets=["D5"]).rows) == 1
+
+    def test_figures(self, tiny_profile):
+        from repro.bench.harness import figure5, figure6
+
+        assert len(figure5(tiny_profile, datasets=["D1"]).rows) == 5
+        assert len(figure6(tiny_profile, datasets=["D1"]).rows) == 5
+
+    def test_ablations(self, tiny_profile):
+        from repro.bench.harness import ablations
+
+        table = ablations(tiny_profile, dataset="D1")
+        assert len(table.rows) == 5
+
+    def test_render_report(self, tiny_profile):
+        from repro.bench.harness import render_report, run_all
+
+        tables = run_all(tiny_profile, names=["table1_table2"])
+        text = render_report(tables)
+        assert "Tables 1-2" in text
+        md = render_report(tables, markdown=True)
+        assert md.startswith("###")

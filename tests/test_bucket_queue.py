@@ -1,0 +1,96 @@
+"""Unit tests for the bucket priority structures."""
+
+import pytest
+
+from repro.util.bucket_queue import EdgeBuckets, MaxBucketQueue
+
+
+class TestMaxBucketQueue:
+    def test_push_pop_max_order(self):
+        q = MaxBucketQueue(10)
+        q.push(3, "a")
+        q.push(7, "b")
+        q.push(5, "c")
+        assert q.pop_max() == (7, "b")
+        assert q.pop_max() == (5, "c")
+        assert q.pop_max() == (3, "a")
+
+    def test_max_pointer_can_rise_after_pops(self):
+        q = MaxBucketQueue(10)
+        q.push(5, "a")
+        q.pop_max()
+        q.push(9, "b")  # pointer must climb back up
+        assert q.max_key() == 9
+
+    def test_len_and_bool(self):
+        q = MaxBucketQueue(3)
+        assert not q
+        q.push(1, "x")
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        q = MaxBucketQueue(3)
+        with pytest.raises(IndexError):
+            q.pop_max()
+
+    def test_max_key_empty(self):
+        q = MaxBucketQueue(3)
+        assert q.max_key() == -1
+
+    def test_ties_lifo_within_bucket(self):
+        q = MaxBucketQueue(4)
+        q.push(2, "first")
+        q.push(2, "second")
+        assert q.pop_max() == (2, "second")
+        assert q.pop_max() == (2, "first")
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MaxBucketQueue(-1)
+
+
+class TestEdgeBuckets:
+    def test_add_remove(self):
+        nt = EdgeBuckets()
+        nt.add(3, 1, 5)
+        assert (1, 3) in nt
+        assert (3, 1) in nt  # canonical keys
+        assert nt.weight(1, 3) == 5
+        assert nt.remove(1, 3) == 5
+        assert (1, 3) not in nt
+        assert len(nt) == 0
+
+    def test_duplicate_add_rejected(self):
+        nt = EdgeBuckets()
+        nt.add(0, 1, 2)
+        with pytest.raises(ValueError):
+            nt.add(1, 0, 4)
+
+    def test_relocate(self):
+        nt = EdgeBuckets()
+        nt.add(0, 1, 2)
+        nt.relocate(0, 1, 7)
+        assert nt.weight(0, 1) == 7
+        assert nt.edges_with_weight(2) == []
+        assert nt.edges_with_weight(7) == [(0, 1)]
+
+    def test_iter_non_increasing(self):
+        nt = EdgeBuckets()
+        nt.add(0, 1, 2)
+        nt.add(2, 3, 9)
+        nt.add(4, 5, 5)
+        weights = [w for _, _, w in nt.iter_non_increasing()]
+        assert weights == [9, 5, 2]
+
+    def test_iteration_tolerates_mutation_of_yielded(self):
+        nt = EdgeBuckets()
+        nt.add(0, 1, 4)
+        nt.add(2, 3, 4)
+        seen = []
+        for u, v, w in nt.iter_non_increasing():
+            seen.append((u, v))
+            if (u, v) in nt:
+                nt.remove(u, v)
+        assert len(seen) == 2
+        assert len(nt) == 0

@@ -1,0 +1,69 @@
+"""Tests for reading whole-graph k-ecc structure off the index."""
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.core.queries import SMCCIndex
+from repro.graph.generators import clique_chain_graph, paper_example_graph
+from repro.kecc import keccs_exact
+
+
+def norm(groups):
+    return sorted(tuple(sorted(g)) for g in groups)
+
+
+class TestComponentsAt:
+    def test_paper_example_levels(self, paper_index):
+        assert norm(paper_index.components_at(1)) == [tuple(range(13))]
+        assert norm(paper_index.components_at(3)) == [
+            tuple(range(9)),
+            (9, 10, 11, 12),
+        ]
+        k4 = [g for g in paper_index.components_at(4) if len(g) > 1]
+        assert norm(k4) == [(0, 1, 2, 3, 4)]
+        assert all(len(g) == 1 for g in paper_index.components_at(5))
+
+    def test_k0_single_partition(self, paper_index):
+        assert norm(paper_index.components_at(0)) == [tuple(range(13))]
+
+    def test_negative_k_rejected(self, paper_index):
+        with pytest.raises(ValueError):
+            paper_index.components_at(-1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_kecc_engine(self, seed):
+        graph = random_connected_graph(seed + 700)
+        index = SMCCIndex.build(graph)
+        edges = graph.edge_list()
+        for k in (1, 2, 3, 4):
+            from_index = norm(index.components_at(k))
+            from_engine = norm(keccs_exact(graph.num_vertices, edges, k))
+            assert from_index == from_engine, (seed, k)
+
+    def test_updates_reflected(self, paper_graph):
+        index = SMCCIndex.build(paper_graph)
+        index.insert_edge(6, 9)  # (v7, v10): everything becomes one 3-ecc
+        assert norm(g for g in index.components_at(3)) == [tuple(range(13))]
+
+
+class TestHistogramAndMax:
+    def test_paper_histogram(self, paper_index):
+        # MST of Figure 3(b): 4 edges at weight 4, 7 at weight 3, 1 at 2.
+        assert paper_index.connectivity_histogram() == {4: 4, 3: 7, 2: 1}
+
+    def test_max_connectivity(self, paper_index):
+        assert paper_index.max_connectivity() == 4
+
+    def test_clique_chain(self):
+        index = SMCCIndex.build(clique_chain_graph([6, 3]))
+        assert index.max_connectivity() == 5
+        hist = index.connectivity_histogram()
+        assert hist[5] == 5   # spanning the K6
+        assert hist[2] == 2   # spanning the K3
+        assert hist[1] == 1   # the bridge
+
+    def test_histogram_sums_to_tree_edges(self):
+        graph = random_connected_graph(71)
+        index = SMCCIndex.build(graph)
+        hist = index.connectivity_histogram()
+        assert sum(hist.values()) == index.mst.num_tree_edges()

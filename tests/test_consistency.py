@@ -1,0 +1,88 @@
+"""Cross-artifact consistency: registries, docs, and packaging agree."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestExperimentRegistry:
+    def test_every_paper_table_and_figure_has_an_experiment(self):
+        from repro.bench.harness import EXPERIMENTS
+
+        required = {
+            "table1_table2", "table3", "figure5", "table4", "table5",
+            "figure6", "table6", "table7", "table8", "table9",
+            "table10", "table11",
+        }
+        assert required <= set(EXPERIMENTS)
+
+    def test_every_experiment_has_a_benchmark_module(self):
+        bench_dir = REPO / "benchmarks"
+        names = {p.stem for p in bench_dir.glob("bench_*.py")}
+        for token in ("table3", "fig5", "table4", "table5", "fig6", "table6",
+                      "table7", "table8", "table9", "table10", "table11"):
+            assert any(token in name for name in names), token
+
+    def test_design_doc_lists_every_experiment(self):
+        text = (REPO / "DESIGN.md").read_text()
+        for exp in ("Table 3", "Figure 5", "Table 4", "Table 5", "Figure 6",
+                    "Table 6", "Table 7", "Table 8", "Table 9", "Table 10",
+                    "Table 11"):
+            assert exp in text, exp
+
+    def test_experiments_doc_covers_every_table(self):
+        text = (REPO / "EXPERIMENTS.md").read_text()
+        for exp in ("Table 3", "Figure 5", "Table 4", "Table 5", "Figure 6",
+                    "Table 6", "Table 7", "Table 8", "Table 9", "Table 10",
+                    "Table 11"):
+            assert exp in text, exp
+
+
+class TestProfiles:
+    def test_named_profiles_resolve(self):
+        from repro.bench.harness import FULL, QUICK, _profile
+
+        assert _profile("quick") is QUICK
+        assert _profile("paper") is FULL
+        assert _profile(QUICK) is QUICK
+        with pytest.raises(KeyError):
+            _profile("warp-speed")
+
+    def test_paper_profile_uses_paper_workloads(self):
+        from repro.bench.harness import FULL
+
+        assert FULL.opt_queries == 1000
+        assert FULL.blr_trials == 50  # the paper's t = 50
+
+    def test_prepared_index_memoized(self):
+        from repro.bench.harness import prepared_index
+
+        assert prepared_index("D1") is prepared_index("D1")
+
+
+class TestPackaging:
+    def test_version_exposed(self):
+        import repro
+
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_py_typed_marker(self):
+        assert (REPO / "src" / "repro" / "py.typed").exists()
+
+    def test_public_all_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_paper_reference_covers_registry(self):
+        from repro.bench import paper_reference as ref
+        from repro.bench.datasets import ALL_DATASETS, QUERY_TABLE_DATASETS
+
+        assert set(QUERY_TABLE_DATASETS) <= set(ref.PAPER_TABLE3)
+        assert set(QUERY_TABLE_DATASETS) <= set(ref.PAPER_TABLE5)
+        assert set(ALL_DATASETS) <= set(ref.PAPER_TABLE7)
+        assert set(ALL_DATASETS) <= set(ref.PAPER_TABLE8)

@@ -1,0 +1,103 @@
+"""Tests for k-core decomposition and core-based KECC pruning."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.graph.generators import (
+    clique_chain_graph,
+    complete_graph,
+    paper_example_graph,
+    path_graph,
+)
+from repro.kecc import keccs_exact
+from repro.kecc.core_decomposition import (
+    core_numbers,
+    k_core_vertices,
+    keccs_with_core_pruning,
+)
+
+
+def brute_force_k_core(n, edges, k):
+    """Repeatedly remove vertices with degree < k."""
+    alive = set(range(n))
+    while True:
+        degree = {v: 0 for v in alive}
+        for u, v in edges:
+            if u != v and u in alive and v in alive:
+                degree[u] += 1
+                degree[v] += 1
+        drop = {v for v in alive if degree[v] < k}
+        if not drop:
+            return sorted(alive)
+        alive -= drop
+
+
+def norm(groups):
+    return sorted(tuple(sorted(g)) for g in groups)
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert core_numbers(5, g.edge_list()) == [4] * 5
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert core_numbers(4, g.edge_list()) == [1, 1, 1, 1]
+
+    def test_clique_chain(self):
+        g = clique_chain_graph([5, 3])
+        cores = core_numbers(g.num_vertices, g.edge_list())
+        assert cores[:5] == [4] * 5  # K5 members
+        assert cores[5:] == [2] * 3  # K3 members
+
+    def test_isolated_vertices(self):
+        assert core_numbers(3, []) == [0, 0, 0]
+
+    def test_paper_example(self):
+        g = paper_example_graph()
+        cores = core_numbers(13, g.edge_list())
+        assert cores[0] == 4   # v1 in the K5
+        assert cores[9] == 3   # v10 in the K4 g3
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_k_core_matches_brute_force(self, seed):
+        graph = random_connected_graph(seed + 880)
+        n = graph.num_vertices
+        edges = graph.edge_list()
+        for k in (1, 2, 3, 4):
+            assert k_core_vertices(n, edges, k) == brute_force_k_core(n, edges, k)
+
+    def test_core_monotone_in_k(self):
+        graph = random_connected_graph(890)
+        n = graph.num_vertices
+        edges = graph.edge_list()
+        prev = set(range(n))
+        for k in range(1, 6):
+            cur = set(k_core_vertices(n, edges, k))
+            assert cur <= prev
+            prev = cur
+
+
+class TestCorePruning:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_equals_unpruned(self, seed):
+        graph = random_connected_graph(seed + 895)
+        n = graph.num_vertices
+        edges = graph.edge_list()
+        for k in (2, 3, 4):
+            plain = norm(keccs_exact(n, edges, k))
+            pruned = norm(keccs_with_core_pruning(n, edges, k, keccs_exact))
+            assert plain == pruned, (seed, k)
+
+    def test_k1_passthrough(self):
+        graph = paper_example_graph()
+        assert norm(keccs_with_core_pruning(13, graph.edge_list(), 1, keccs_exact)) == \
+            norm(keccs_exact(13, graph.edge_list(), 1))
+
+    def test_empty_core(self):
+        g = path_graph(5)
+        groups = keccs_with_core_pruning(5, g.edge_list(), 3, keccs_exact)
+        assert norm(groups) == [(0,), (1,), (2,), (3,), (4,)]

@@ -1,0 +1,72 @@
+"""Direct tests for the paper-named algorithm entry points in repro.core."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.core.smcc import smcc_opt
+from repro.core.smcc_l import smcc_l_opt
+from repro.core.steiner_connectivity import sc_mst, sc_opt
+from repro.graph.generators import paper_example_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.mst import build_mst
+from repro.index.mst_star import build_mst_star
+
+
+@pytest.fixture(scope="module")
+def stack():
+    mst = build_mst(conn_graph_sharing(paper_example_graph()))
+    return mst, build_mst_star(mst)
+
+
+class TestScFunctions:
+    def test_sc_mst(self, stack):
+        mst, _ = stack
+        assert sc_mst(mst, [0, 3, 4]) == 4
+        assert sc_mst(mst, [0, 11]) == 2
+
+    def test_sc_opt(self, stack):
+        _, star = stack
+        assert sc_opt(star, [0, 3, 4]) == 4
+        assert sc_opt(star, [0, 11]) == 2
+
+    def test_agreement_random(self):
+        graph = random_connected_graph(640)
+        mst = build_mst(conn_graph_sharing(graph))
+        star = build_mst_star(mst)
+        rng = random.Random(640)
+        for _ in range(20):
+            q = rng.sample(range(graph.num_vertices), rng.randint(2, 5))
+            assert sc_mst(mst, q) == sc_opt(star, q)
+
+
+class TestSmccOpt:
+    def test_with_star(self, stack):
+        mst, star = stack
+        verts, sc = smcc_opt(mst, [0, 3, 6], star)
+        assert sorted(verts) == list(range(9)) and sc == 3
+
+    def test_without_star_falls_back_to_walk(self, stack):
+        mst, _ = stack
+        verts, sc = smcc_opt(mst, [0, 3, 6], mst_star=None)
+        assert sorted(verts) == list(range(9)) and sc == 3
+
+    def test_query_normalized(self, stack):
+        mst, star = stack
+        a = smcc_opt(mst, [3, 0, 3, 6], star)
+        b = smcc_opt(mst, [0, 3, 6], star)
+        assert sorted(a[0]) == sorted(b[0]) and a[1] == b[1]
+
+
+class TestSmccLOpt:
+    def test_matches_index_method(self, stack):
+        mst, _ = stack
+        assert smcc_l_opt(mst, [0, 3], 6) == mst.smcc_l([0, 3], 6)
+
+    def test_result_size_honors_bound(self, stack):
+        mst, _ = stack
+        for bound in (2, 5, 9, 13):
+            verts, k = smcc_l_opt(mst, [0, 3], bound)
+            assert len(verts) >= bound
+            assert k >= 1

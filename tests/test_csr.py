@@ -1,0 +1,63 @@
+"""Unit tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+
+
+def test_from_graph_roundtrip():
+    graph = gnm_random_graph(20, 40, seed=3)
+    csr = CSRGraph.from_graph(graph)
+    assert csr.num_vertices == 20
+    assert csr.num_edges == 40
+    for u in range(20):
+        assert sorted(csr.neighbors(u).tolist()) == sorted(graph.neighbors(u))
+        assert csr.degree(u) == graph.degree(u)
+
+
+def test_from_edge_arrays_unweighted():
+    csr = CSRGraph.from_edge_arrays(4, [0, 1, 2], [1, 2, 3])
+    assert csr.num_edges == 3
+    assert sorted(csr.neighbors(1).tolist()) == [0, 2]
+
+
+def test_from_edge_arrays_weighted():
+    csr = CSRGraph.from_edge_arrays(3, [0, 1], [1, 2], weights=[5, 7])
+    nbrs = csr.neighbors(1).tolist()
+    ws = csr.neighbor_weights(1).tolist()
+    pairs = dict(zip(nbrs, ws))
+    assert pairs == {0: 5, 2: 7}
+
+
+def test_neighbor_weights_requires_weights():
+    csr = CSRGraph.from_edge_arrays(2, [0], [1])
+    with pytest.raises(ValueError):
+        csr.neighbor_weights(0)
+
+
+def test_adjacency_lists_match():
+    graph = gnm_random_graph(15, 25, seed=5)
+    csr = CSRGraph.from_graph(graph)
+    lists = csr.adjacency_lists()
+    for u in range(15):
+        assert sorted(lists[u]) == sorted(graph.neighbors(u))
+
+
+def test_edge_endpoints_each_once():
+    graph = gnm_random_graph(12, 20, seed=8)
+    csr = CSRGraph.from_graph(graph)
+    us, vs = csr.edge_endpoints()
+    assert len(us) == 20
+    got = sorted(zip(us.tolist(), vs.tolist()))
+    assert got == sorted(graph.edges())
+    assert np.all(us < vs)
+
+
+def test_empty_graph():
+    csr = CSRGraph.from_graph(Graph(3))
+    assert csr.num_vertices == 3
+    assert csr.num_edges == 0
+    assert csr.neighbors(0).size == 0

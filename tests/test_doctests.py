@@ -1,0 +1,17 @@
+"""Execute the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.queries
+import repro.graph.labels
+
+MODULES = [repro.graph.labels, repro.core.queries]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

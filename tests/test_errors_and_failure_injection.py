@@ -1,0 +1,125 @@
+"""Error hierarchy contracts and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro import SMCCIndex
+from repro.errors import (
+    DisconnectedQueryError,
+    EdgeNotFoundError,
+    EmptyQueryError,
+    GraphError,
+    InfeasibleSizeConstraintError,
+    QueryError,
+    ReproError,
+    VertexNotFoundError,
+)
+from repro.graph.generators import paper_example_graph
+from repro.index.persistence import load_connectivity_graph, load_mst
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            GraphError,
+            QueryError,
+            EmptyQueryError,
+            DisconnectedQueryError,
+            InfeasibleSizeConstraintError,
+            VertexNotFoundError,
+            EdgeNotFoundError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_query_errors_under_query_error(self):
+        for exc in (EmptyQueryError, DisconnectedQueryError, InfeasibleSizeConstraintError):
+            assert issubclass(exc, QueryError)
+
+    def test_lookup_errors_are_key_errors(self):
+        # so dict-style callers can catch KeyError too
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_messages_carry_context(self):
+        err = VertexNotFoundError(42)
+        assert "42" in str(err)
+        assert err.vertex == 42
+        err2 = EdgeNotFoundError(1, 2)
+        assert err2.edge == (1, 2)
+        err3 = InfeasibleSizeConstraintError(50, 10)
+        assert err3.size_bound == 50 and err3.component_size == 10
+
+    def test_one_catch_all_for_api_users(self, paper_index):
+        with pytest.raises(ReproError):
+            paper_index.smcc([])
+        with pytest.raises(ReproError):
+            paper_index.smcc([0, 99])
+        with pytest.raises(ReproError):
+            paper_index.smcc_l([0, 1], 1000)
+
+
+class TestCorruptedPersistence:
+    def test_truncated_npz_rejected(self, tmp_path, paper_index):
+        paper_index.save(tmp_path / "idx")
+        path = tmp_path / "idx" / "conn_graph.npz"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):
+            load_connectivity_graph(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a numpy archive")
+        with pytest.raises(Exception):
+            load_mst(path)
+
+    def test_inconsistent_weights_detected(self, tmp_path):
+        # A conn-graph archive whose edges contain a duplicate row: the
+        # Graph rejects the duplicate edge on load.
+        rows = np.array([[0, 1, 2], [0, 1, 3]], dtype=np.int64)
+        np.savez_compressed(
+            tmp_path / "bad.npz", num_vertices=np.int64(2), edges=rows
+        )
+        with pytest.raises(GraphError):
+            load_connectivity_graph(tmp_path / "bad.npz")
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SMCCIndex.load(tmp_path / "nope")
+
+
+class TestQueryValidationAcrossAPI:
+    """Every public query entry point validates inputs consistently."""
+
+    def test_empty_everywhere(self, paper_index):
+        with pytest.raises(EmptyQueryError):
+            paper_index.steiner_connectivity([])
+        with pytest.raises(EmptyQueryError):
+            paper_index.steiner_connectivity([], method="walk")
+        with pytest.raises(EmptyQueryError):
+            paper_index.smcc([])
+        with pytest.raises(EmptyQueryError):
+            paper_index.smcc_l([], 2)
+        with pytest.raises(EmptyQueryError):
+            paper_index.subset_smcc([], 1)
+
+    def test_unknown_vertex_everywhere(self, paper_index):
+        for call in (
+            lambda: paper_index.steiner_connectivity([0, 77]),
+            lambda: paper_index.steiner_connectivity([0, 77], method="walk"),
+            lambda: paper_index.smcc([77]),
+            lambda: paper_index.smcc_l([0, 77], 2),
+            lambda: paper_index.subset_smcc([0, 77], 1),
+            lambda: paper_index.smcc_cover([0, 77], 1),
+        ):
+            with pytest.raises(VertexNotFoundError):
+                call()
+
+    def test_negative_vertex_rejected(self, paper_index):
+        with pytest.raises(VertexNotFoundError):
+            paper_index.smcc([-1])
+
+
+@pytest.fixture
+def paper_index():
+    return SMCCIndex.build(paper_example_graph())

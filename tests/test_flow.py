@@ -1,0 +1,119 @@
+"""Unit tests for Dinic max-flow and Stoer-Wagner min cut."""
+
+import pytest
+
+from repro.flow.dinic import (
+    Dinic,
+    edge_connectivity_between,
+    global_edge_connectivity,
+)
+from repro.flow.stoer_wagner import stoer_wagner_min_cut
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    path_graph,
+)
+from repro.graph.graph import Graph
+
+
+class TestDinic:
+    def test_simple_unit_path(self):
+        d = Dinic(3)
+        d.add_undirected_edge(0, 1)
+        d.add_undirected_edge(1, 2)
+        assert d.max_flow(0, 2) == 1
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_undirected_edge(0, 1)
+        d.add_undirected_edge(1, 3)
+        d.add_undirected_edge(0, 2)
+        d.add_undirected_edge(2, 3)
+        assert d.max_flow(0, 3) == 2
+
+    def test_directed_capacity(self):
+        d = Dinic(2)
+        d.add_edge(0, 1, cap=5)
+        assert d.max_flow(0, 1) == 5
+        # all capacity consumed; a rerun adds nothing
+        assert d.max_flow(0, 1) == 0
+
+    def test_same_source_sink_rejected(self):
+        d = Dinic(2)
+        with pytest.raises(ValueError):
+            d.max_flow(1, 1)
+
+    def test_min_cut_side(self):
+        d = Dinic(4)
+        d.add_undirected_edge(0, 1)
+        d.add_undirected_edge(1, 2)
+        d.add_undirected_edge(2, 3)
+        d.max_flow(0, 3)
+        side = d.min_cut_side(0)
+        assert side[0] and not side[3]
+
+    def test_disconnected_zero_flow(self):
+        d = Dinic(2)
+        assert d.max_flow(0, 1) == 0
+
+
+class TestEdgeConnectivity:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert edge_connectivity_between(g, 0, 4) == 4
+        assert global_edge_connectivity(g) == 4
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert edge_connectivity_between(g, 0, 3) == 2
+        assert global_edge_connectivity(g) == 2
+
+    def test_path_bridge(self):
+        g = path_graph(4)
+        assert edge_connectivity_between(g, 0, 3) == 1
+        assert global_edge_connectivity(g) == 1
+
+    def test_disconnected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert global_edge_connectivity(g) == 0
+
+    def test_trivial(self):
+        assert global_edge_connectivity(Graph(1)) == 0
+        assert global_edge_connectivity(Graph(0)) == 0
+
+
+class TestStoerWagner:
+    def test_bridge_cut(self):
+        g = path_graph(4)
+        weight, side = stoer_wagner_min_cut(4, g.edge_list())
+        assert weight == 1
+        assert 0 < len(side) < 4
+
+    def test_complete_graph_cut(self):
+        g = complete_graph(5)
+        weight, side = stoer_wagner_min_cut(5, g.edge_list())
+        assert weight == 4
+        # min cut of K5 isolates one vertex
+        assert len(side) in (1, 4)
+
+    def test_parallel_edges_add_weight(self):
+        edges = [(0, 1), (0, 1), (1, 2)]
+        weight, side = stoer_wagner_min_cut(3, edges)
+        assert weight == 1  # the single (1,2) edge
+
+    def test_disconnected_zero(self):
+        weight, side = stoer_wagner_min_cut(4, [(0, 1), (2, 3)])
+        assert weight == 0
+        assert sorted(side) in ([0, 1], [2, 3])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(Exception):
+            stoer_wagner_min_cut(1, [])
+
+    def test_matches_flow_on_random_graphs(self):
+        for seed in range(8):
+            g = gnm_random_graph(12, 24, seed=seed)
+            weight, _ = stoer_wagner_min_cut(12, g.edge_list())
+            assert weight == global_edge_connectivity(g)

@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import global_edge_connectivity
+from repro.graph.generators import (
+    PAPER_EXAMPLE_SC,
+    clique_chain_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    nested_communities_graph,
+    paper_example_graph,
+    path_graph,
+    power_law_graph,
+    real_graph_analog,
+    ssca_graph,
+)
+from repro.graph.traversal import is_connected
+
+
+class TestDeterministic:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert global_edge_connectivity(g) == 4
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert global_edge_connectivity(g) == 2
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert global_edge_connectivity(g) == 1
+
+
+class TestRandomModels:
+    def test_gnm_exact_counts(self):
+        g = gnm_random_graph(50, 120, seed=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 120
+
+    def test_gnm_determinism(self):
+        a = gnm_random_graph(30, 60, seed=9)
+        b = gnm_random_graph(30, 60, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(GraphError):
+            gnm_random_graph(4, 7, seed=0)
+
+    def test_power_law_counts_and_determinism(self):
+        a = power_law_graph(200, 500, seed=3)
+        b = power_law_graph(200, 500, seed=3)
+        assert a.num_edges == 500
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_power_law_heavy_tail(self):
+        g = power_law_graph(400, 1200, seed=5)
+        degrees = sorted((g.degree(u) for u in g.vertices()), reverse=True)
+        # the hubs should dominate: top vertex much hotter than median
+        assert degrees[0] >= 5 * max(degrees[len(degrees) // 2], 1)
+
+    def test_ssca_connected_with_cliques(self):
+        g = ssca_graph(300, max_clique_size=10, seed=2)
+        assert is_connected(g)
+        assert g.num_vertices == 300
+
+    def test_ssca_determinism(self):
+        a = ssca_graph(100, 8, seed=4)
+        b = ssca_graph(100, 8, seed=4)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_real_graph_analog_connected(self):
+        g = real_graph_analog(300, 900, seed=6)
+        assert is_connected(g)
+        # LCC extraction may trim a few vertices but not most
+        assert g.num_vertices > 150
+
+
+class TestPlantedStructures:
+    def test_clique_chain_structure(self):
+        g = clique_chain_graph([4, 3])
+        # 6 + 3 clique edges + 1 bridge
+        assert g.num_edges == 6 + 3 + 1
+        assert is_connected(g)
+
+    def test_clique_chain_validation(self):
+        with pytest.raises(GraphError):
+            clique_chain_graph([])
+        with pytest.raises(GraphError):
+            clique_chain_graph([3, 0])
+
+    def test_nested_communities_connected(self):
+        g = nested_communities_graph(depth=2, branching=2, base=4)
+        assert is_connected(g)
+        assert g.num_vertices == 16
+
+    def test_nested_communities_validation(self):
+        with pytest.raises(GraphError):
+            nested_communities_graph(depth=0)
+
+
+class TestPaperExample:
+    def test_size(self):
+        g = paper_example_graph()
+        assert g.num_vertices == 13
+        assert g.num_edges == 27
+
+    def test_sc_table_covers_all_edges(self):
+        g = paper_example_graph()
+        assert set(PAPER_EXAMPLE_SC) == set(g.edges())
+
+    def test_block_connectivity(self):
+        g = paper_example_graph()
+        # g1 = K5 on v1..v5 is 4-edge-connected on its own
+        sub, _ = g.induced_subgraph([0, 1, 2, 3, 4])
+        assert global_edge_connectivity(sub) == 4
+        # the full graph is 2-edge connected (paper statement)
+        assert global_edge_connectivity(g) == 2

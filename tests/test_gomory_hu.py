@@ -1,0 +1,103 @@
+"""Tests for the Gomory-Hu equivalent-flow tree (paper ref [18])."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import DisconnectedQueryError, VertexNotFoundError
+from repro.flow.dinic import edge_connectivity_between
+from repro.flow.gomory_hu import all_pairs_min_cut, build_gomory_hu
+from repro.graph.generators import (
+    complete_graph,
+    cycle_graph,
+    paper_example_graph,
+    path_graph,
+)
+from repro.graph.graph import Graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.mst import build_mst
+
+
+class TestConstruction:
+    def test_tree_has_n_minus_1_edges_connected(self):
+        tree = build_gomory_hu(complete_graph(6))
+        assert len(tree.tree_edges()) == 5
+
+    def test_complete_graph_all_cuts(self):
+        tree = build_gomory_hu(complete_graph(6))
+        for u in range(6):
+            for v in range(u + 1, 6):
+                assert tree.min_cut(u, v) == 5
+
+    def test_cycle(self):
+        tree = build_gomory_hu(cycle_graph(7))
+        assert tree.min_cut(0, 3) == 2
+
+    def test_path(self):
+        tree = build_gomory_hu(path_graph(5))
+        assert tree.min_cut(0, 4) == 1
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_dinic_on_random_graphs(self, seed):
+        graph = random_connected_graph(seed + 860, max_n=14)
+        tree = build_gomory_hu(graph)
+        rng = random.Random(seed)
+        n = graph.num_vertices
+        for _ in range(10):
+            u, v = rng.sample(range(n), 2)
+            assert tree.min_cut(u, v) == edge_connectivity_between(graph, u, v)
+
+    def test_all_pairs_exhaustive(self):
+        graph = random_connected_graph(870, max_n=10)
+        pairs = all_pairs_min_cut(graph)
+        n = graph.num_vertices
+        for u in range(n):
+            for v in range(u + 1, n):
+                assert pairs[(u, v)] == edge_connectivity_between(graph, u, v)
+
+
+class TestQueries:
+    def test_same_vertex_rejected(self):
+        tree = build_gomory_hu(complete_graph(3))
+        with pytest.raises(ValueError):
+            tree.min_cut(1, 1)
+
+    def test_unknown_vertex(self):
+        tree = build_gomory_hu(complete_graph(3))
+        with pytest.raises(VertexNotFoundError):
+            tree.min_cut(0, 9)
+
+    def test_disconnected_pair(self):
+        graph = Graph.from_edges([(0, 1), (2, 3)])
+        tree = build_gomory_hu(graph)
+        with pytest.raises(DisconnectedQueryError):
+            tree.min_cut(0, 2)
+        assert tree.min_cut(0, 1) == 1
+
+
+class TestContrastWithSteinerConnectivity:
+    """The related-work point: sc(u,v) <= lambda(u,v), not always equal."""
+
+    def test_sc_bounded_by_lambda_everywhere(self):
+        graph = paper_example_graph()
+        mst = build_mst(conn_graph_sharing(graph))
+        tree = build_gomory_hu(graph)
+        for u in range(13):
+            for v in range(u + 1, 13):
+                assert mst.steiner_connectivity([u, v]) <= tree.min_cut(u, v)
+
+    def test_strict_inequality_exists(self):
+        # Two K4s sharing enough attachment that lambda between their
+        # members exceeds the connectivity of any common component.
+        # In Figure 2: lambda(v5, v7) counts paths through g1 AND g2,
+        # while sc(v5, v7) = 3.
+        graph = paper_example_graph()
+        mst = build_mst(conn_graph_sharing(graph))
+        tree = build_gomory_hu(graph)
+        found_strict = any(
+            mst.steiner_connectivity([u, v]) < tree.min_cut(u, v)
+            for u in range(13)
+            for v in range(u + 1, 13)
+        )
+        assert found_strict, "expected some pair with sc < lambda"

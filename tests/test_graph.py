@@ -1,0 +1,130 @@
+"""Unit tests for the dynamic Graph substrate."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.graph import Graph, edge_key
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Graph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_from_edges_grows_vertices(self):
+        graph = Graph.from_edges([(0, 5), (2, 3)])
+        assert graph.num_vertices == 6
+        assert graph.num_edges == 2
+
+    def test_from_edges_with_preallocated_vertices(self):
+        graph = Graph.from_edges([(0, 1)], num_vertices=10)
+        assert graph.num_vertices == 10
+        assert graph.degree(9) == 0
+
+    def test_from_edges_merges_duplicates_and_loops(self):
+        graph = Graph.from_edges([(0, 1), (1, 0), (0, 1), (2, 2)])
+        assert graph.num_edges == 1
+
+    def test_copy_is_independent(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        clone = graph.copy()
+        clone.remove_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+        assert graph.num_edges == 2
+        assert clone.num_edges == 1
+
+
+class TestMutation:
+    def test_add_vertex_returns_dense_ids(self):
+        graph = Graph()
+        assert graph.add_vertex() == 0
+        assert graph.add_vertex() == 1
+        assert graph.num_vertices == 2
+
+    def test_add_edge_symmetric(self):
+        graph = Graph(3)
+        graph.add_edge(0, 2)
+        assert graph.has_edge(0, 2)
+        assert graph.has_edge(2, 0)
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 1
+
+    def test_add_edge_rejects_self_loop(self):
+        graph = Graph(2)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_add_edge_rejects_duplicate(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 0)
+
+    def test_add_edge_rejects_missing_vertex(self):
+        graph = Graph(2)
+        with pytest.raises(VertexNotFoundError):
+            graph.add_edge(0, 7)
+
+    def test_remove_edge(self):
+        graph = Graph.from_edges([(0, 1), (1, 2)])
+        graph.remove_edge(1, 0)
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = Graph(3)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_has_edge_out_of_range_is_false(self):
+        graph = Graph(2)
+        assert not graph.has_edge(0, 99)
+        assert not graph.has_edge(-1, 0)
+
+
+class TestAccessors:
+    def test_edges_listed_once_sorted_endpoints(self):
+        graph = Graph.from_edges([(2, 0), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 2), (1, 2)]
+
+    def test_neighbors(self):
+        graph = Graph.from_edges([(0, 1), (0, 2)])
+        assert graph.neighbors(0) == {1, 2}
+        assert graph.neighbors(1) == {0}
+
+    def test_degree_missing_vertex(self):
+        graph = Graph(1)
+        with pytest.raises(VertexNotFoundError):
+            graph.degree(3)
+
+    def test_edge_key_canonical(self):
+        assert edge_key(5, 2) == (2, 5)
+        assert edge_key(2, 5) == (2, 5)
+        assert edge_key(3, 3) == (3, 3)
+
+
+class TestSubgraph:
+    def test_induced_subgraph_maps_densely(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        sub, originals = graph.induced_subgraph([1, 3, 2])
+        assert originals == [1, 3, 2]
+        assert sub.num_vertices == 3
+        # edges among {1,2,3}: (1,2), (2,3), (1,3) -> locally (0,2),(2,1),(0,1)
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_dedupes_input(self):
+        graph = Graph.from_edges([(0, 1)])
+        sub, originals = graph.induced_subgraph([0, 1, 0])
+        assert originals == [0, 1]
+        assert sub.num_edges == 1
+
+    def test_induced_edges(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        assert sorted(graph.induced_edges([0, 1, 2])) == [(0, 1), (0, 2), (1, 2)]

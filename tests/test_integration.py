@@ -1,0 +1,131 @@
+"""Cross-module integration tests on moderately sized generated graphs.
+
+These exercise the full pipeline — generator → connectivity graph →
+MST/MST* → queries → maintenance → persistence — at sizes larger than
+the unit tests, cross-validated against the index-free baselines on
+sampled queries.
+"""
+
+import random
+
+import pytest
+
+from repro import SMCCIndex
+from repro.baselines import smcc_baseline, smcc_l_baseline
+from repro.bench.workloads import generate_queries, generate_update_workload
+from repro.errors import InfeasibleSizeConstraintError
+from repro.graph.generators import power_law_graph, real_graph_analog, ssca_graph
+from repro.graph.traversal import largest_connected_component
+
+
+@pytest.fixture(scope="module")
+def ssca():
+    graph = ssca_graph(800, max_clique_size=10, seed=41)
+    return graph, SMCCIndex.build(graph)
+
+
+@pytest.fixture(scope="module")
+def powerlaw():
+    graph = power_law_graph(600, 1800, seed=42)
+    lcc = largest_connected_component(graph)
+    graph, _ = graph.induced_subgraph(lcc)
+    return graph, SMCCIndex.build(graph)
+
+
+class TestPipelineSSCA:
+    def test_queries_match_baseline(self, ssca):
+        graph, index = ssca
+        for q in generate_queries(graph, 6, size=4, seed=1):
+            verts, k = smcc_baseline(graph, q)
+            result = index.smcc(q)
+            assert sorted(result.vertices) == sorted(verts)
+            assert result.connectivity == k
+
+    def test_smcc_l_matches_baseline(self, ssca):
+        graph, index = ssca
+        bound = graph.num_vertices // 5
+        for q in generate_queries(graph, 4, size=3, seed=2):
+            try:
+                verts, k = smcc_l_baseline(graph, q, bound)
+                expected = (sorted(verts), k)
+            except InfeasibleSizeConstraintError:
+                expected = None
+            try:
+                result = index.smcc_l(q, bound)
+                got = (sorted(result.vertices), result.connectivity)
+            except InfeasibleSizeConstraintError:
+                got = None
+            assert got == expected
+
+    def test_walk_and_star_agree_on_many_queries(self, ssca):
+        graph, index = ssca
+        for q in generate_queries(graph, 50, size=6, seed=3):
+            assert index.steiner_connectivity(q, "walk") == \
+                index.steiner_connectivity(q, "star")
+
+    def test_smcc_result_internally_consistent(self, ssca):
+        graph, index = ssca
+        for q in generate_queries(graph, 20, size=5, seed=4):
+            result = index.smcc(q)
+            assert set(q) <= result.vertex_set
+            assert result.connectivity == index.steiner_connectivity(q)
+            # every member's pairwise sc to q[0] is >= the connectivity
+            sample = list(result.vertices)[:10]
+            for v in sample:
+                if v != q[0]:
+                    assert index.sc_pair(q[0], v) >= result.connectivity
+
+
+class TestPipelinePowerLaw:
+    def test_maintenance_then_queries(self, powerlaw):
+        graph, _ = powerlaw
+        graph = graph.copy()
+        index = SMCCIndex.build(graph)
+        ops = generate_update_workload(graph, 8, 8, seed=5)
+        for op, u, v in ops:
+            if op == "delete":
+                index.delete_edge(u, v)
+            else:
+                index.insert_edge(u, v)
+        # after all updates, spot-check against a fresh build
+        fresh = SMCCIndex.build(graph.copy())
+        rng = random.Random(5)
+        for _ in range(15):
+            q = rng.sample(range(graph.num_vertices), 3)
+            from repro.errors import DisconnectedQueryError
+
+            try:
+                a = index.steiner_connectivity(q)
+            except DisconnectedQueryError:
+                a = 0
+            try:
+                b = fresh.steiner_connectivity(q)
+            except DisconnectedQueryError:
+                b = 0
+            assert a == b, q
+
+    def test_persistence_roundtrip_at_scale(self, powerlaw, tmp_path):
+        graph, index = powerlaw
+        index.save(tmp_path / "pl")
+        loaded = SMCCIndex.load(tmp_path / "pl")
+        for q in generate_queries(graph, 10, size=4, seed=6):
+            assert loaded.steiner_connectivity(q) == index.steiner_connectivity(q)
+
+
+class TestRealAnalogPipeline:
+    def test_components_at_consistent_with_queries(self):
+        graph = real_graph_analog(500, 2500, seed=17)
+        index = SMCCIndex.build(graph)
+        for k in (2, 3, 4):
+            for comp in index.components_at(k):
+                if len(comp) < 2:
+                    continue
+                # every pair inside a k-component has sc >= k
+                sc = index.sc_pair(comp[0], comp[-1])
+                assert sc >= k
+                # the SMCC of two members is the sc-ecc, which nests
+                # inside this k-component (k <= sc)
+                result = index.smcc([comp[0], comp[-1]])
+                assert result.vertex_set <= set(comp)
+                if sc == k:
+                    assert result.vertex_set == set(comp)

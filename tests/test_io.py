@@ -1,0 +1,68 @@
+"""Unit tests for edge-list and binary graph IO."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import gnm_random_graph
+from repro.graph.io import load_binary, read_edge_list, save_binary, write_edge_list
+
+
+def test_read_edge_list_snap_format():
+    text = io.StringIO(
+        "# Directed graph (each unordered pair of nodes is saved once)\n"
+        "# FromNodeId ToNodeId\n"
+        "0 1\n"
+        "1 2\n"
+        "2 0\n"
+    )
+    graph = read_edge_list(text)
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 3
+
+
+def test_read_edge_list_relabels_sparse_ids():
+    text = io.StringIO("100 200\n200 300\n")
+    graph = read_edge_list(text)
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 2
+
+
+def test_read_edge_list_without_relabel():
+    text = io.StringIO("0 3\n")
+    graph = read_edge_list(text, relabel=False)
+    assert graph.num_vertices == 4
+    assert graph.has_edge(0, 3)
+
+
+def test_read_edge_list_drops_duplicates_and_loops():
+    text = io.StringIO("0 1\n1 0\n0 0\n% comment\n")
+    graph = read_edge_list(text)
+    assert graph.num_edges == 1
+
+
+def test_read_edge_list_bad_line():
+    with pytest.raises(GraphError):
+        read_edge_list(io.StringIO("0\n"))
+    with pytest.raises(GraphError):
+        read_edge_list(io.StringIO("a b\n"))
+
+
+def test_edge_list_file_roundtrip(tmp_path):
+    # Edge lists cannot represent isolated vertices, so load without
+    # relabeling and compare the edge sets.
+    graph = gnm_random_graph(30, 60, seed=2)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path, relabel=False)
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_binary_roundtrip(tmp_path):
+    graph = gnm_random_graph(25, 50, seed=4)
+    path = tmp_path / "graph.npz"
+    save_binary(graph, path)
+    loaded = load_binary(path)
+    assert loaded.num_vertices == graph.num_vertices
+    assert sorted(loaded.edges()) == sorted(graph.edges())

@@ -1,0 +1,165 @@
+"""Unit tests for the three KECC engines and their shared helpers."""
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.graph.generators import (
+    clique_chain_graph,
+    complete_graph,
+    cycle_graph,
+    paper_example_graph,
+    path_graph,
+)
+from repro.graph.graph import Graph
+from repro.kecc import (
+    get_engine,
+    keccs_cut_based,
+    keccs_exact,
+    keccs_random,
+    removed_edges,
+)
+from repro.kecc.mas import components_of, max_adjacency_order
+
+
+def norm(groups):
+    return sorted(tuple(sorted(g)) for g in groups)
+
+
+def nontrivial(groups):
+    return sorted(tuple(sorted(g)) for g in groups if len(g) > 1)
+
+
+ENGINES = [keccs_exact, keccs_cut_based, lambda n, e, k: keccs_random(n, e, k, seed=0)]
+ENGINE_IDS = ["exact", "cut", "random"]
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=ENGINE_IDS)
+class TestEnginesCommon:
+    def test_partition_property(self, engine):
+        g = paper_example_graph()
+        groups = engine(g.num_vertices, g.edge_list(), 3)
+        flat = sorted(v for grp in groups for v in grp)
+        assert flat == list(range(g.num_vertices))
+
+    def test_k1_connected_components(self, engine):
+        g = Graph.from_edges([(0, 1), (2, 3)], num_vertices=5)
+        groups = nontrivial(engine(g.num_vertices, g.edge_list(), 1))
+        assert groups == [(0, 1), (2, 3)]
+
+    def test_complete_graph_k_levels(self, engine):
+        g = complete_graph(6)
+        for k in range(1, 6):
+            groups = nontrivial(engine(6, g.edge_list(), k))
+            assert groups == [tuple(range(6))], f"k={k}"
+        assert nontrivial(engine(6, g.edge_list(), 6)) == []
+
+    def test_cycle_is_2_not_3(self, engine):
+        g = cycle_graph(8)
+        assert nontrivial(engine(8, g.edge_list(), 2)) == [tuple(range(8))]
+        assert nontrivial(engine(8, g.edge_list(), 3)) == []
+
+    def test_bridges_break_at_k2(self, engine):
+        g = clique_chain_graph([4, 4])
+        groups = nontrivial(engine(g.num_vertices, g.edge_list(), 2))
+        assert groups == [(0, 1, 2, 3), (4, 5, 6, 7)]
+
+    def test_paper_example_k3_k4(self, engine):
+        g = paper_example_graph()
+        edges = g.edge_list()
+        assert nontrivial(engine(13, edges, 3)) == [
+            tuple(range(9)),
+            (9, 10, 11, 12),
+        ]
+        assert nontrivial(engine(13, edges, 4)) == [(0, 1, 2, 3, 4)]
+
+    def test_empty_graph(self, engine):
+        assert engine(0, [], 2) == []
+
+    def test_parallel_edges_count(self, engine):
+        # two vertices joined by 3 parallel edges are 3-edge connected
+        edges = [(0, 1), (0, 1), (0, 1)]
+        assert nontrivial(engine(2, edges, 3)) == [(0, 1)]
+        assert nontrivial(engine(2, edges, 4)) == []
+
+    def test_self_loops_ignored(self, engine):
+        edges = [(0, 0), (0, 1), (1, 2), (2, 0)]
+        assert nontrivial(engine(3, edges, 2)) == [(0, 1, 2)]
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_engines_agree_on_random_graphs(self, seed):
+        g = random_connected_graph(seed)
+        edges = g.edge_list()
+        for k in (2, 3, 4):
+            exact = norm(keccs_exact(g.num_vertices, edges, k))
+            cut = norm(keccs_cut_based(g.num_vertices, edges, k))
+            rnd = norm(keccs_random(g.num_vertices, edges, k, seed=seed))
+            assert exact == cut == rnd, f"seed={seed} k={k}"
+
+
+class TestRemovedEdges:
+    def test_crossing_edges_reported(self):
+        groups = [[0, 1], [2, 3]]
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert removed_edges(groups, edges) == [(1, 2)]
+
+    def test_no_crossing(self):
+        assert removed_edges([[0, 1, 2]], [(0, 1), (1, 2)]) == []
+
+
+class TestEngineRegistry:
+    def test_lookup(self):
+        assert get_engine("exact") is keccs_exact
+        assert get_engine("cut") is keccs_cut_based
+        assert get_engine("random") is keccs_random
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError):
+            get_engine("quantum")
+
+
+class TestMaximumAdjacencySearch:
+    def test_order_covers_component(self):
+        adj = {0: {1: 1}, 1: {0: 1, 2: 2}, 2: {1: 2}, 3: {}}
+        order, weights = max_adjacency_order(adj, 0)
+        assert sorted(order) == [0, 1, 2]
+        assert weights[0] == 0
+
+    def test_weights_count_multiplicity(self):
+        adj = {0: {1: 3}, 1: {0: 3}}
+        order, weights = max_adjacency_order(adj, 0)
+        assert order == [0, 1]
+        assert weights == [0, 3]
+
+    def test_tightest_first(self):
+        # From 0: vertex 1 connected by 2 parallel edges, vertex 2 by 1.
+        adj = {0: {1: 2, 2: 1}, 1: {0: 2, 2: 1}, 2: {0: 1, 1: 1}}
+        order, weights = max_adjacency_order(adj, 0)
+        assert order == [0, 1, 2]
+        assert weights == [0, 2, 2]
+
+    def test_components_of(self):
+        adj = {0: {1: 1}, 1: {0: 1}, 2: {}, 3: {4: 1}, 4: {3: 1}}
+        comps = sorted(sorted(c) for c in components_of(adj, [0, 1, 2, 3, 4]))
+        assert comps == [[0, 1], [2], [3, 4]]
+
+
+class TestRandomizedSpecifics:
+    def test_trim_produces_singletons(self):
+        # star: center degree 4, leaves degree 1 -> at k=2 all singletons
+        g = Graph.from_edges([(0, i) for i in range(1, 5)])
+        groups = keccs_random(5, g.edge_list(), 2, seed=1)
+        assert nontrivial(groups) == []
+        assert len(groups) == 5
+
+    def test_more_trials_never_split_kcc(self):
+        g = complete_graph(8)
+        groups = keccs_random(8, g.edge_list(), 7, trials=50, seed=3)
+        assert nontrivial(groups) == [tuple(range(8))]
+
+    def test_deterministic_for_seed(self):
+        g = random_connected_graph(77)
+        a = keccs_random(g.num_vertices, g.edge_list(), 3, seed=5)
+        b = keccs_random(g.num_vertices, g.edge_list(), 3, seed=5)
+        assert norm(a) == norm(b)

@@ -1,0 +1,115 @@
+"""Tests for labeled-vertex support."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.labels import (
+    LabeledSMCCIndex,
+    VertexLabels,
+    graph_from_labeled_edges,
+)
+
+
+class TestVertexLabels:
+    def test_intern_assigns_dense_ids(self):
+        labels = VertexLabels()
+        assert labels.intern("a") == 0
+        assert labels.intern("b") == 1
+        assert labels.intern("a") == 0  # idempotent
+        assert len(labels) == 2
+
+    def test_lookup_both_ways(self):
+        labels = VertexLabels()
+        labels.intern("x")
+        assert labels.id_of("x") == 0
+        assert labels.label_of(0) == "x"
+        assert "x" in labels and "y" not in labels
+
+    def test_unknown_label_raises(self):
+        labels = VertexLabels()
+        with pytest.raises(VertexNotFoundError):
+            labels.id_of("ghost")
+
+    def test_bulk_translation(self):
+        labels = VertexLabels()
+        for name in ("a", "b", "c"):
+            labels.intern(name)
+        assert labels.ids_of(["c", "a"]) == [2, 0]
+        assert labels.labels_of([1, 2]) == ["b", "c"]
+
+    def test_mixed_label_types(self):
+        labels = VertexLabels()
+        labels.intern(("tuple", 1))
+        labels.intern(42)
+        labels.intern("str")
+        assert labels.id_of(42) == 1
+
+
+class TestGraphFromLabeledEdges:
+    def test_builds_graph_and_mapping(self):
+        graph, labels = graph_from_labeled_edges(
+            [("a", "b"), ("b", "c"), ("a", "c")]
+        )
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert graph.has_edge(labels.id_of("a"), labels.id_of("c"))
+
+    def test_drops_loops_and_duplicates(self):
+        graph, _ = graph_from_labeled_edges([("a", "a"), ("a", "b"), ("b", "a")])
+        assert graph.num_edges == 1
+
+
+class TestLabeledIndex:
+    @pytest.fixture
+    def index(self):
+        # Two tight author groups bridged by one collaboration.
+        group1 = ["ann", "bob", "cid", "dee"]
+        group2 = ["eve", "fay", "gus"]
+        edges = []
+        for group in (group1, group2):
+            for i, a in enumerate(group):
+                for b in group[i + 1:]:
+                    edges.append((a, b))
+        edges.append(("dee", "eve"))
+        return LabeledSMCCIndex.from_edges(edges)
+
+    def test_sc_queries(self, index):
+        assert index.steiner_connectivity(["ann", "cid"]) == 3
+        assert index.steiner_connectivity(["ann", "gus"]) == 1
+        assert index.sc_pair("eve", "fay") == 2
+
+    def test_smcc_in_label_space(self, index):
+        result = index.smcc(["ann", "bob"])
+        assert result.label_set == {"ann", "bob", "cid", "dee"}
+        assert result.connectivity == 3
+        assert "ann" in result and "eve" not in result
+        assert len(result) == 4
+
+    def test_smcc_l(self, index):
+        result = index.smcc_l(["ann", "bob"], 7)
+        assert result.label_set == {"ann", "bob", "cid", "dee", "eve", "fay", "gus"}
+        assert result.connectivity == 1
+
+    def test_components_at(self, index):
+        comps = [set(c) for c in index.components_at(2) if len(c) > 1]
+        assert {"ann", "bob", "cid", "dee"} in comps
+        assert {"eve", "fay", "gus"} in comps
+
+    def test_updates_with_new_labels(self, index):
+        index.insert_edge("gus", "hal")  # brand-new author
+        assert index.steiner_connectivity(["hal", "eve"]) == 1
+        index.delete_edge("gus", "hal")
+        with pytest.raises(Exception):
+            index.steiner_connectivity(["hal", "eve"])
+
+    def test_unknown_label_in_query(self, index):
+        with pytest.raises(VertexNotFoundError):
+            index.smcc(["ann", "zoe"])
+
+    def test_subset_and_cover(self, index):
+        sub = index.subset_smcc(["ann", "bob", "gus"], 2)
+        assert sub.connectivity == 3
+        cover = index.smcc_cover(["ann", "gus"], 2)
+        assert len(cover) == 2
+        union = set().union(*(c.label_set for c in cover))
+        assert {"ann", "gus"} <= union

@@ -1,0 +1,95 @@
+"""Unit tests for the Euler-tour O(1) LCA structure."""
+
+import random
+
+import pytest
+
+from repro.index.lca import EulerTourLCA
+
+
+def naive_lca(parents, u, v):
+    """Reference LCA by walking ancestor chains."""
+    anc = set()
+    x = u
+    while x >= 0:
+        anc.add(x)
+        x = parents[x]
+    x = v
+    while x >= 0:
+        if x in anc:
+            return x
+        x = parents[x]
+    return None
+
+
+def random_forest(n, num_roots, seed):
+    rng = random.Random(seed)
+    parents = [-1] * n
+    roots = list(range(num_roots))
+    for v in range(num_roots, n):
+        parents[v] = rng.randrange(v)  # parent has a smaller id: acyclic
+    return parents
+
+
+class TestBasics:
+    def test_single_node(self):
+        lca = EulerTourLCA([-1])
+        assert lca.lca(0, 0) == 0
+        assert lca.depth_of(0) == 0
+
+    def test_chain(self):
+        # 0 <- 1 <- 2 <- 3
+        parents = [-1, 0, 1, 2]
+        lca = EulerTourLCA(parents)
+        assert lca.lca(3, 1) == 1
+        assert lca.lca(3, 0) == 0
+        assert lca.depth_of(3) == 3
+
+    def test_balanced_binary(self):
+        #      0
+        #    1   2
+        #   3 4 5 6
+        parents = [-1, 0, 0, 1, 1, 2, 2]
+        lca = EulerTourLCA(parents)
+        assert lca.lca(3, 4) == 1
+        assert lca.lca(3, 5) == 0
+        assert lca.lca(4, 2) == 0
+        assert lca.lca(5, 6) == 2
+        assert lca.lca(1, 3) == 1  # ancestor case
+
+    def test_forest_cross_tree_none(self):
+        parents = [-1, 0, -1, 2]
+        lca = EulerTourLCA(parents)
+        assert lca.lca(1, 3) is None
+        assert lca.lca(0, 1) == 0
+        assert lca.same_tree(0, 1)
+        assert not lca.same_tree(1, 2)
+
+    def test_empty(self):
+        lca = EulerTourLCA([])
+        assert lca.n == 0
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_naive_on_random_forests(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 60)
+        roots = rng.randint(1, max(1, n // 10))
+        parents = random_forest(n, roots, seed)
+        lca = EulerTourLCA(parents)
+        for _ in range(200):
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            assert lca.lca(u, v) == naive_lca(parents, u, v), (u, v)
+
+    def test_depths_match_parents(self):
+        parents = random_forest(40, 2, 99)
+        lca = EulerTourLCA(parents)
+        for v in range(40):
+            depth = 0
+            x = v
+            while parents[x] >= 0:
+                depth += 1
+                x = parents[x]
+            assert lca.depth_of(v) == depth

@@ -1,0 +1,161 @@
+"""Unit and integration tests for incremental index maintenance (Section 5.2)."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import DisconnectedQueryError, GraphError
+from repro.graph.generators import paper_example_graph
+from repro.graph.graph import Graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.maintenance import IndexMaintainer
+from repro.index.mst import build_mst
+
+
+def fresh(graph):
+    conn = conn_graph_sharing(graph)
+    mst = build_mst(conn)
+    return conn, mst, IndexMaintainer(conn, mst)
+
+
+def all_pairs_sc(mst, n):
+    out = {}
+    for u in range(n):
+        for v in range(u + 1, n):
+            try:
+                out[(u, v)] = mst.steiner_connectivity([u, v])
+            except DisconnectedQueryError:
+                out[(u, v)] = 0
+    return out
+
+
+class TestPaperExamples:
+    def test_example_5_2_deletion(self):
+        # Deleting (v5, v9): sc(v4,v7) and sc(v5,v7) drop from 3 to 2.
+        conn, mst, maintainer = fresh(paper_example_graph())
+        changes = sorted(maintainer.delete_edge(4, 8))
+        assert changes == [(3, 6, 2), (4, 6, 2)]
+        assert conn.weight(3, 6) == 2
+        assert conn.weight(4, 6) == 2
+
+    def test_example_5_3_insertion(self):
+        # Inserting (v4, v9): new edge gets sc = 3; nothing else changes.
+        conn, mst, maintainer = fresh(paper_example_graph())
+        changes = maintainer.insert_edge(3, 8)
+        assert changes == [(3, 8, 3)]
+        assert conn.weight(3, 8) == 3
+
+    def test_insertion_promoting_edges(self):
+        # Paper Lemma 5.4 discussion: inserting (v7, v10) merges g3 into
+        # the 3-edge connected component (g1 u g2 u g3 becomes 3-ecc).
+        conn, mst, maintainer = fresh(paper_example_graph())
+        changes = maintainer.insert_edge(6, 9)  # (v7, v10)
+        changed = {(a, b): w for a, b, w in changes}
+        # The two former sc=2 attachments of g3 rise to 3.
+        assert changed.get((4, 11)) == 3 or conn.weight(4, 11) == 3
+        assert conn.weight(8, 10) == 3
+        assert conn.weight(6, 9) == 3
+        assert mst.steiner_connectivity([0, 9]) == 3
+
+
+class TestEdgeCases:
+    def test_delete_missing_edge_raises(self):
+        _, _, maintainer = fresh(paper_example_graph())
+        with pytest.raises(GraphError):
+            maintainer.delete_edge(0, 12)
+
+    def test_insert_existing_edge_raises(self):
+        _, _, maintainer = fresh(paper_example_graph())
+        with pytest.raises(GraphError):
+            maintainer.insert_edge(0, 1)
+
+    def test_insert_self_loop_raises(self):
+        _, _, maintainer = fresh(paper_example_graph())
+        with pytest.raises(GraphError):
+            maintainer.insert_edge(3, 3)
+
+    def test_delete_bridge_splits_graph(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+        conn, mst, maintainer = fresh(graph)
+        changes = maintainer.delete_edge(2, 3)
+        assert changes == []  # no other sc changes
+        with pytest.raises(DisconnectedQueryError):
+            mst.steiner_connectivity([0, 4])
+        # Each triangle still works.
+        assert mst.steiner_connectivity([0, 1]) == 2
+        assert mst.steiner_connectivity([3, 5]) == 2
+
+    def test_insert_bridge_joins_components(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        conn, mst, maintainer = fresh(graph)
+        changes = maintainer.insert_edge(0, 3)
+        assert changes == [(0, 3, 1)]
+        assert mst.steiner_connectivity([1, 4]) == 1
+
+    def test_insert_edge_to_new_vertex(self):
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        conn, mst, maintainer = fresh(graph)
+        changes = maintainer.insert_edge(0, 3)
+        assert changes == [(0, 3, 1)]
+        assert conn.num_vertices == 4
+        assert mst.steiner_connectivity([3, 2]) == 1
+
+    def test_reinsert_after_delete_roundtrip(self):
+        graph = paper_example_graph()
+        conn, mst, maintainer = fresh(graph)
+        before = all_pairs_sc(mst, 13)
+        maintainer.delete_edge(4, 8)
+        maintainer.insert_edge(4, 8)
+        assert all_pairs_sc(mst, 13) == before
+
+
+class TestAgainstRebuild:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_update_sequences(self, seed):
+        rng = random.Random(seed)
+        graph = random_connected_graph(seed, max_n=18)
+        conn, mst, maintainer = fresh(graph)
+        n = graph.num_vertices
+        for _ in range(20):
+            edges = graph.edge_list()
+            if rng.random() < 0.5 and edges:
+                u, v = edges[rng.randrange(len(edges))]
+                maintainer.delete_edge(u, v)
+            else:
+                placed = False
+                for _ in range(60):
+                    u, v = rng.randrange(n), rng.randrange(n)
+                    if u != v and not graph.has_edge(u, v):
+                        maintainer.insert_edge(u, v)
+                        placed = True
+                        break
+                if not placed:
+                    continue
+            # Connectivity-graph weights must equal a fresh construction.
+            expected = conn_graph_sharing(graph.copy()).weights_dict()
+            assert conn.weights_dict() == expected
+            # All-pairs sc from the maintained MST must match a rebuild.
+            rebuilt = build_mst(conn_graph_sharing(graph.copy()))
+            assert all_pairs_sc(mst, n) == all_pairs_sc(rebuilt, n)
+
+    def test_mst_stays_maximal_after_updates(self):
+        rng = random.Random(5)
+        graph = random_connected_graph(5, max_n=16)
+        conn, mst, maintainer = fresh(graph)
+        for _ in range(15):
+            edges = graph.edge_list()
+            if rng.random() < 0.5 and edges:
+                maintainer.delete_edge(*edges[rng.randrange(len(edges))])
+            else:
+                for _ in range(60):
+                    u = rng.randrange(graph.num_vertices)
+                    v = rng.randrange(graph.num_vertices)
+                    if u != v and not graph.has_edge(u, v):
+                        maintainer.insert_edge(u, v)
+                        break
+            # Cycle property: every non-tree edge is dominated by its path.
+            for u, v, w in mst.non_tree.iter_non_increasing():
+                path = mst.tree_path(u, v)
+                assert path is not None
+                assert min(e[2] for e in path) >= w

@@ -1,0 +1,92 @@
+"""Section 4.6: any maximum spanning tree answers every query identically.
+
+MSTs of the connectivity graph are not unique (ties are everywhere,
+since weights are small integers); the paper argues query results are
+invariant under MST selection.  These tests build several different
+MSTs per graph — Kruskal with shuffled tie-breaking — and assert that
+sc / SMCC / SMCC_L answers are identical across all of them.
+"""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.graph.generators import paper_example_graph
+from repro.index.connectivity_graph import ConnectivityGraph, conn_graph_sharing
+from repro.index.mst import MSTIndex
+from repro.index.mst_star import build_mst_star
+from repro.util.disjoint_set import DisjointSet
+
+
+def build_mst_shuffled(conn: ConnectivityGraph, seed: int) -> MSTIndex:
+    """Kruskal with randomized tie-breaking inside each weight class."""
+    rng = random.Random(seed)
+    n = conn.num_vertices
+    index = MSTIndex(n)
+    buckets = {}
+    for u, v, w in conn.edges_with_weights():
+        buckets.setdefault(w, []).append((u, v))
+    ds = DisjointSet(n)
+    for w in sorted(buckets, reverse=True):
+        bucket = buckets[w]
+        rng.shuffle(bucket)
+        for u, v in bucket:
+            if ds.union(u, v):
+                index.add_tree_edge(u, v, w)
+            else:
+                index.non_tree.add(u, v, w)
+    return index
+
+
+def tree_weight(mst: MSTIndex) -> int:
+    return sum(w for _, _, w in mst.tree_edges())
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_msts_answer_identically(seed):
+    graph = random_connected_graph(seed + 950, max_n=20)
+    conn = conn_graph_sharing(graph)
+    variants = [build_mst_shuffled(conn, s) for s in range(4)]
+    n = graph.num_vertices
+    # All variants are maximum spanning trees: equal total weight.
+    weights = {tree_weight(m) for m in variants}
+    assert len(weights) == 1
+    rng = random.Random(seed)
+    reference = variants[0]
+    for _ in range(12):
+        q = rng.sample(range(n), rng.randint(2, 4))
+        expected_sc = reference.steiner_connectivity(q)
+        expected_smcc = sorted(reference.smcc(q)[0])
+        bound = rng.randint(2, n)
+        from repro.errors import InfeasibleSizeConstraintError
+
+        try:
+            lv, lk = reference.smcc_l(q, bound)
+            expected_l = (sorted(lv), lk)
+        except InfeasibleSizeConstraintError:
+            expected_l = None
+        for variant in variants[1:]:
+            assert variant.steiner_connectivity(q) == expected_sc
+            verts, sc = variant.smcc(q)
+            assert sorted(verts) == expected_smcc and sc == expected_sc
+            try:
+                lv, lk = variant.smcc_l(q, bound)
+                got = (sorted(lv), lk)
+            except InfeasibleSizeConstraintError:
+                got = None
+            assert got == expected_l
+            # MST* built on any variant answers the same pairs.
+            star = build_mst_star(variant)
+            assert star.steiner_connectivity(q) == expected_sc
+
+
+def test_paper_example_across_msts():
+    graph = paper_example_graph()
+    conn = conn_graph_sharing(graph)
+    for s in range(5):
+        mst = build_mst_shuffled(conn, s)
+        assert mst.steiner_connectivity([0, 3, 4]) == 4
+        assert sorted(mst.smcc([0, 3, 6])[0]) == list(range(9))
+        verts, k = mst.smcc_l([0, 3], 6)
+        assert sorted(verts) == list(range(9)) and k == 3

@@ -1,0 +1,119 @@
+"""Every worked example from the paper, end-to-end on the public API.
+
+These tests pin the implementation to the paper's own numbers: if any
+algorithm drifts from the published semantics, one of these breaks.
+Vertex ``i`` is the paper's ``v_{i+1}`` (0-indexed).
+"""
+
+import pytest
+
+from repro import SMCCIndex
+from repro.errors import DisconnectedQueryError
+from repro.graph.generators import paper_example_graph
+from repro.kecc import keccs_exact
+
+
+@pytest.fixture(scope="module")
+def index():
+    return SMCCIndex.build(paper_example_graph())
+
+
+class TestSection2Definitions:
+    def test_g1_is_4ecc(self, index):
+        """'the subgraph g1 is a 4-edge connected component'"""
+        result = index.smcc([0, 3])  # {v1, v4}
+        assert sorted(result.vertices) == [0, 1, 2, 3, 4]
+        assert result.connectivity == 4
+
+    def test_g3_is_3ecc(self, index):
+        """'g3 is a 3-edge connected component'"""
+        result = index.smcc([9, 12])  # {v10, v13}
+        assert sorted(result.vertices) == [9, 10, 11, 12]
+        assert result.connectivity == 3
+
+    def test_g1_union_g2_is_3ecc(self, index):
+        """'g1 ∪ g2 is a 3-edge connected component' and the SMCC of
+        {v1, v4, v7} with sc = 3."""
+        result = index.smcc([0, 3, 6])
+        assert sorted(result.vertices) == list(range(9))
+        assert result.connectivity == 3
+
+    def test_smcc_l_definitions(self, index):
+        """'the SMCC_L of {v1,v4} with L=4 is g1, with L=6 is g1 ∪ g2'"""
+        r4 = index.smcc_l([0, 3], 4)
+        assert sorted(r4.vertices) == [0, 1, 2, 3, 4]
+        r6 = index.smcc_l([0, 3], 6)
+        assert sorted(r6.vertices) == list(range(9))
+
+
+class TestSection4Examples:
+    def test_example_4_2_smcc(self, index):
+        """q = {v1, v4, v5}: sc = 4, SMCC = {v1..v5}."""
+        assert index.steiner_connectivity([0, 3, 4]) == 4
+        result = index.smcc([0, 3, 4])
+        assert sorted(result.vertices) == [0, 1, 2, 3, 4]
+
+    def test_example_4_3_smcc_l(self, index):
+        """q = {v1, v4, v5}, L = 6: V_q = {v1..v9} with k = 3."""
+        result = index.smcc_l([0, 3, 4], 6)
+        assert sorted(result.vertices) == list(range(9))
+        assert result.connectivity == 3
+
+    def test_appendix_example_1_1(self, index):
+        """sc(v8, v13) = 2; sc(v8, v7) = 3; sc({v8,v13,v7}) = 2."""
+        assert index.sc_pair(7, 12) == 2
+        assert index.sc_pair(7, 6) == 3
+        assert index.steiner_connectivity([7, 12, 6]) == 2
+
+
+class TestSection5Examples:
+    def test_example_5_1_connectivity_graph(self):
+        """phi_3 removes (v5,v12) and (v9,v11) with sc 2; g1 edges get 4."""
+        index = SMCCIndex.build(paper_example_graph())
+        conn = index.conn_graph
+        assert conn.weight(4, 11) == 2   # (v5, v12)
+        assert conn.weight(8, 10) == 2   # (v9, v11)
+        assert conn.weight(0, 1) == 4    # inside g1
+        assert conn.weight(9, 12) == 3   # inside g3
+
+    def test_example_5_2_edge_deletion(self):
+        """Deleting (v5,v9): sc(v4,v7) = sc(v5,v7) = 2 afterwards."""
+        index = SMCCIndex.build(paper_example_graph())
+        changes = sorted(index.delete_edge(4, 8))
+        assert changes == [(3, 6, 2), (4, 6, 2)]
+        assert index.conn_graph.weight(3, 6) == 2
+        # g2 alone (K4) is now the 3-ecc containing v7.
+        result = index.smcc([5, 6])
+        assert sorted(result.vertices) == [5, 6, 7, 8]
+        assert result.connectivity == 3
+
+    def test_example_5_3_edge_insertion(self):
+        """Inserting (v4,v9): only the new edge appears, with sc 3."""
+        index = SMCCIndex.build(paper_example_graph())
+        changes = index.insert_edge(3, 8)
+        assert changes == [(3, 8, 3)]
+        assert index.conn_graph.weight(3, 8) == 3
+        # SMCCs are unchanged.
+        assert sorted(index.smcc([0, 3]).vertices) == [0, 1, 2, 3, 4]
+
+    def test_lemma_5_4_discussion_insert_v7_v10(self):
+        """Inserting (v7,v10) makes g1 ∪ g2 ∪ g3 the 3-ecc."""
+        index = SMCCIndex.build(paper_example_graph())
+        index.insert_edge(6, 9)
+        result = index.smcc([0, 9])
+        assert sorted(result.vertices) == list(range(13))
+        assert result.connectivity == 3
+
+
+class TestSection1Figure1Claims:
+    def test_whole_graph_is_2_edge_connected(self, index):
+        """Figure 2's G is 2-edge connected."""
+        groups = keccs_exact(13, paper_example_graph().edge_list(), 2)
+        assert sorted(len(g) for g in groups)[-1] == 13
+
+    def test_steiner_connectivity_of_disconnected_pair_raises(self):
+        index = SMCCIndex.build(paper_example_graph())
+        index.delete_edge(4, 11)  # (v5, v12)
+        index.delete_edge(8, 10)  # (v9, v11) -> g3 detached
+        with pytest.raises(DisconnectedQueryError):
+            index.steiner_connectivity([0, 9])

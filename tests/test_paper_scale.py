@@ -1,0 +1,50 @@
+"""Paper-scale smoke test: PL1 at the paper's exact size.
+
+PL1 (20K vertices, 120K edges) is the one evaluation dataset small
+enough to run at full paper scale under CPython in seconds; this test
+builds the complete index on it and exercises every query type, so the
+suite covers at least one paper-size workload end-to-end.
+"""
+
+import pytest
+
+from repro.bench.datasets import get_dataset
+from repro.bench.workloads import generate_queries
+from repro.core.queries import SMCCIndex
+
+
+@pytest.fixture(scope="module")
+def paper_scale_index():
+    graph = get_dataset("PL1", scale=5.0)
+    assert graph.num_vertices > 15_000
+    assert graph.num_edges > 100_000
+    return SMCCIndex.build(graph)
+
+
+def test_queries_at_paper_scale(paper_scale_index):
+    index = paper_scale_index
+    queries = generate_queries(index.graph, 50, 10, seed=9)
+    for q in queries:
+        sc_star = index.steiner_connectivity(q, "star")
+        sc_walk = index.steiner_connectivity(q, "walk")
+        assert sc_star == sc_walk >= 1
+        result = index.smcc(q)
+        assert set(q) <= result.vertex_set
+        assert result.connectivity == sc_star
+
+
+def test_smcc_l_at_paper_scale(paper_scale_index):
+    index = paper_scale_index
+    bound = index.num_vertices // 2
+    result = index.smcc_l([0, 1], bound)
+    assert len(result) >= bound
+    assert result.connectivity >= 1
+
+
+def test_maintenance_at_paper_scale(paper_scale_index):
+    index = paper_scale_index
+    before = index.sc_pair(0, 1)
+    changes = index.insert_edge(0, index.num_vertices - 1)
+    assert changes
+    index.delete_edge(0, index.num_vertices - 1)
+    assert index.sc_pair(0, 1) == before

@@ -1,0 +1,72 @@
+"""Unit tests for index persistence and size accounting."""
+
+from conftest import random_connected_graph
+from repro.graph.generators import paper_example_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.mst import build_mst
+from repro.index.persistence import (
+    connectivity_graph_size_bytes,
+    file_size_bytes,
+    load_connectivity_graph,
+    load_mst,
+    mst_size_bytes,
+    save_connectivity_graph,
+    save_mst,
+)
+
+
+def test_mst_roundtrip(tmp_path):
+    conn = conn_graph_sharing(paper_example_graph())
+    mst = build_mst(conn)
+    path = tmp_path / "mst.npz"
+    save_mst(mst, path)
+    loaded = load_mst(path)
+    assert loaded.n == mst.n
+    assert sorted(loaded.tree_edges()) == sorted(mst.tree_edges())
+    nt_before = sorted((u, v, w) for u, v, w in mst.non_tree.iter_non_increasing())
+    nt_after = sorted((u, v, w) for u, v, w in loaded.non_tree.iter_non_increasing())
+    assert nt_before == nt_after
+    # queries still work on the loaded index
+    assert loaded.steiner_connectivity([0, 3, 4]) == 4
+
+
+def test_conn_graph_roundtrip(tmp_path):
+    conn = conn_graph_sharing(paper_example_graph())
+    path = tmp_path / "gc.npz"
+    save_connectivity_graph(conn, path)
+    loaded = load_connectivity_graph(path)
+    assert loaded.num_vertices == conn.num_vertices
+    assert loaded.weights_dict() == conn.weights_dict()
+
+
+def test_roundtrip_random_graphs(tmp_path):
+    for seed in range(3):
+        graph = random_connected_graph(seed + 900)
+        conn = conn_graph_sharing(graph)
+        mst = build_mst(conn)
+        save_mst(mst, tmp_path / f"m{seed}.npz")
+        save_connectivity_graph(conn, tmp_path / f"c{seed}.npz")
+        m2 = load_mst(tmp_path / f"m{seed}.npz")
+        c2 = load_connectivity_graph(tmp_path / f"c{seed}.npz")
+        assert c2.weights_dict() == conn.weights_dict()
+        assert sorted(m2.tree_edges()) == sorted(mst.tree_edges())
+
+
+def test_size_accounting_scaling():
+    small = conn_graph_sharing(paper_example_graph())
+    small_mst = build_mst(small)
+    big_graph = random_connected_graph(1, min_n=60, max_n=80)
+    big = conn_graph_sharing(big_graph)
+    big_mst = build_mst(big)
+    # MST size is O(|V|): bigger graph -> bigger accounting.
+    assert mst_size_bytes(big_mst) > mst_size_bytes(small_mst)
+    assert connectivity_graph_size_bytes(big) > connectivity_graph_size_bytes(small)
+    # per-vertex constant stays bounded
+    assert mst_size_bytes(big_mst) <= 40 * big_mst.n
+
+
+def test_file_size(tmp_path):
+    conn = conn_graph_sharing(paper_example_graph())
+    path = tmp_path / "x.npz"
+    save_connectivity_graph(conn, path)
+    assert file_size_bytes(path) > 0

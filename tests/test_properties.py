@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for the paper's structural lemmas.
+
+Each test asserts one of the paper's lemmas on randomly generated
+connected graphs:
+
+- Lemma 4.2: sc(q) = min over v in q of sc(v0, v), for any anchor v0.
+- Lemma 4.4: sc(u, v) = min edge weight on the MST path.
+- Lemma 4.5 / 4.6: SMCC = weight-threshold reachability on the MST.
+- Lemma A.1: MST* is a full binary tree with monotone weights.
+- Lemma A.2: sc(u, v) = weight of the MST* LCA.
+- Monotonicity: inserting an edge never decreases any sc; deleting
+  never increases any sc (Lemmas 5.2-5.4 corollary).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flow import edge_connectivity_between, global_edge_connectivity
+from repro.graph.graph import Graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.index.maintenance import IndexMaintainer
+from repro.index.mst import build_mst
+from repro.index.mst_star import build_mst_star
+
+
+@st.composite
+def connected_graphs(draw, min_n=3, max_n=16):
+    """A random connected simple graph."""
+    n = draw(st.integers(min_n, max_n))
+    # random spanning tree first (guarantees connectivity)
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    graph = Graph(n)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    for i in range(1, n):
+        graph.add_edge(vertices[i], vertices[rng.randrange(i)])
+    extra = draw(st.integers(0, min(3 * n, n * (n - 1) // 2 - (n - 1))))
+    placed = 0
+    while placed < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            placed += 1
+    return graph
+
+
+COMMON = dict(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(graph=connected_graphs(), data=st.data())
+@settings(**COMMON)
+def test_lemma_4_2_anchor_invariance(graph, data):
+    """sc(q) is the min pairwise sc from ANY anchor vertex of q."""
+    mst = build_mst(conn_graph_sharing(graph))
+    n = graph.num_vertices
+    size = data.draw(st.integers(2, min(5, n)))
+    q = data.draw(st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True))
+    sc_q = mst.steiner_connectivity(q)
+    for anchor in q:
+        pair_min = min(
+            mst.steiner_connectivity([anchor, v]) for v in q if v != anchor
+        )
+        assert pair_min == sc_q
+
+
+@given(graph=connected_graphs())
+@settings(**COMMON)
+def test_lemma_4_4_path_min_is_sc(graph):
+    """For every pair: sc(u,v) == min edge weight on the MST path."""
+    mst = build_mst(conn_graph_sharing(graph))
+    n = graph.num_vertices
+    rng = random.Random(0)
+    for _ in range(10):
+        u, v = rng.sample(range(n), 2)
+        path = mst.tree_path(u, v)
+        assert min(w for _, _, w in path) == mst.steiner_connectivity([u, v])
+
+
+@given(graph=connected_graphs())
+@settings(**COMMON)
+def test_lemma_4_6_smcc_is_induced_kecc(graph):
+    """The SMCC is k-edge connected and maximal (no neighbor extends it)."""
+    mst = build_mst(conn_graph_sharing(graph))
+    n = graph.num_vertices
+    rng = random.Random(1)
+    q = rng.sample(range(n), 2)
+    verts, sc = mst.smcc(q)
+    sub, _ = graph.induced_subgraph(verts)
+    if sub.num_vertices > 1:
+        assert global_edge_connectivity(sub) >= sc
+    # maximality: adding any single outside vertex cannot stay sc-connected
+    outside = [v for v in range(n) if v not in set(verts)]
+    for v in outside[:5]:
+        bigger, _ = graph.induced_subgraph(list(verts) + [v])
+        assert global_edge_connectivity(bigger) < sc
+
+
+@given(graph=connected_graphs())
+@settings(**COMMON)
+def test_lemma_a1_a2_mst_star(graph):
+    """MST* structure (A.1) and LCA-weight queries (A.2)."""
+    mst = build_mst(conn_graph_sharing(graph))
+    star = build_mst_star(mst)
+    star.validate()
+    n = graph.num_vertices
+    rng = random.Random(2)
+    for _ in range(10):
+        u, v = rng.sample(range(n), 2)
+        assert star.sc_pair(u, v) == mst.steiner_connectivity([u, v])
+
+
+@given(graph=connected_graphs())
+@settings(**COMMON)
+def test_sc_upper_bounded_by_edge_connectivity(graph):
+    """sc(u, v) <= lambda(u, v): an sc(u,v)-ecc gives that many disjoint paths."""
+    mst = build_mst(conn_graph_sharing(graph))
+    rng = random.Random(3)
+    n = graph.num_vertices
+    for _ in range(5):
+        u, v = rng.sample(range(n), 2)
+        assert mst.steiner_connectivity([u, v]) <= edge_connectivity_between(graph, u, v)
+
+
+@given(graph=connected_graphs())
+@settings(**COMMON)
+def test_smcc_l_nested_in_smcc_chain(graph):
+    """SMCC_L components for growing L form a nested chain containing q."""
+    mst = build_mst(conn_graph_sharing(graph))
+    n = graph.num_vertices
+    q = [0, n - 1]
+    prev = None
+    prev_k = None
+    for bound in range(2, n + 1):
+        verts, k = mst.smcc_l(q, bound)
+        assert len(verts) >= bound
+        assert set(q) <= set(verts)
+        if prev is not None:
+            assert prev <= set(verts) or prev == set(verts)
+            assert k <= prev_k
+        prev, prev_k = set(verts), k
+
+
+@given(graph=connected_graphs(), data=st.data())
+@settings(**COMMON)
+def test_insertion_monotonicity(graph, data):
+    """Inserting an edge never decreases any pairwise sc (and changes <= +1)."""
+    non_edges = [
+        (u, v)
+        for u in range(graph.num_vertices)
+        for v in range(u + 1, graph.num_vertices)
+        if not graph.has_edge(u, v)
+    ]
+    if not non_edges:
+        return
+    u, v = data.draw(st.sampled_from(non_edges))
+    conn = conn_graph_sharing(graph)
+    mst = build_mst(conn)
+    n = graph.num_vertices
+    before = {
+        (a, b): mst.steiner_connectivity([a, b])
+        for a in range(n)
+        for b in range(a + 1, n)
+    }
+    IndexMaintainer(conn, mst).insert_edge(u, v)
+    for (a, b), old in before.items():
+        new = mst.steiner_connectivity([a, b])
+        assert old <= new <= old + 1, (a, b)
+
+
+@given(graph=connected_graphs(), data=st.data())
+@settings(**COMMON)
+def test_deletion_monotonicity(graph, data):
+    """Deleting an edge never increases any pairwise sc (changes <= -1)."""
+    from repro.errors import DisconnectedQueryError
+
+    edges = graph.edge_list()
+    u, v = data.draw(st.sampled_from(edges))
+    conn = conn_graph_sharing(graph)
+    mst = build_mst(conn)
+    n = graph.num_vertices
+    before = {
+        (a, b): mst.steiner_connectivity([a, b])
+        for a in range(n)
+        for b in range(a + 1, n)
+    }
+    IndexMaintainer(conn, mst).delete_edge(u, v)
+    for (a, b), old in before.items():
+        try:
+            new = mst.steiner_connectivity([a, b])
+        except DisconnectedQueryError:
+            new = 0
+        assert old - 1 <= new <= old, (a, b)

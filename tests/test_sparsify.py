@@ -1,0 +1,98 @@
+"""Tests for the Nagamochi-Ibaraki sparse certificate (paper ref [23])."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.flow import edge_connectivity_between, global_edge_connectivity
+from repro.graph.generators import complete_graph, gnm_random_graph
+from repro.graph.graph import Graph
+from repro.kecc.sparsify import (
+    certificate_size_bound,
+    forest_decomposition,
+    sparse_certificate,
+)
+
+
+class TestForestDecomposition:
+    def test_labels_partition_edges(self):
+        g = complete_graph(5)
+        edges = g.edge_list()
+        labels = forest_decomposition(5, edges)
+        assert len(labels) == len(edges)
+        assert all(label >= 1 for label in labels)
+
+    def test_each_label_is_a_forest(self):
+        g = gnm_random_graph(20, 60, seed=1)
+        edges = g.edge_list()
+        labels = forest_decomposition(20, edges)
+        for forest_id in set(labels):
+            members = [e for e, lab in zip(edges, labels) if lab == forest_id]
+            # acyclic: union-find never closes a cycle
+            parent = list(range(20))
+
+            def find(x):
+                while parent[x] != x:
+                    parent[x] = parent[parent[x]]
+                    x = parent[x]
+                return x
+
+            for u, v in members:
+                ru, rv = find(u), find(v)
+                assert ru != rv, f"forest {forest_id} contains a cycle"
+                parent[ru] = rv
+
+    def test_first_forest_is_maximal_spanning(self):
+        g = gnm_random_graph(15, 40, seed=2)
+        from repro.graph.traversal import connected_components
+
+        n_components = len(connected_components(g))
+        edges = g.edge_list()
+        labels = forest_decomposition(15, edges)
+        first = sum(1 for lab in labels if lab == 1)
+        assert first == 15 - n_components
+
+    def test_self_loops_labeled_zero(self):
+        labels = forest_decomposition(2, [(0, 0), (0, 1)])
+        assert labels == [0, 1]
+
+
+class TestSparseCertificate:
+    def test_size_bound_respected(self):
+        g = complete_graph(10)
+        for k in (1, 2, 3, 5):
+            cert = sparse_certificate(10, g.edge_list(), k)
+            assert len(cert) <= certificate_size_bound(10, k)
+
+    def test_k_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sparse_certificate(3, [(0, 1)], 0)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_preserves_global_connectivity(self, seed):
+        graph = random_connected_graph(seed + 800, max_n=18)
+        lam = global_edge_connectivity(graph)
+        cert = sparse_certificate(graph.num_vertices, graph.edge_list(), lam)
+        cert_graph = Graph.from_edges(cert, num_vertices=graph.num_vertices)
+        assert global_edge_connectivity(cert_graph) == lam
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_preserves_pairwise_connectivity_up_to_k(self, seed):
+        graph = random_connected_graph(seed + 820, max_n=14)
+        n = graph.num_vertices
+        rng = random.Random(seed)
+        for k in (2, 3):
+            cert = sparse_certificate(n, graph.edge_list(), k)
+            cert_graph = Graph.from_edges(cert, num_vertices=n)
+            for _ in range(8):
+                u, v = rng.sample(range(n), 2)
+                lam_g = edge_connectivity_between(graph, u, v)
+                lam_c = edge_connectivity_between(cert_graph, u, v)
+                assert min(lam_c, k) == min(lam_g, k), (u, v, k)
+
+    def test_certificate_is_subgraph(self):
+        graph = random_connected_graph(840)
+        edges = set(graph.edge_list())
+        cert = sparse_certificate(graph.num_vertices, graph.edge_list(), 3)
+        assert all((min(e), max(e)) in edges for e in cert)

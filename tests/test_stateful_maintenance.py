@@ -1,0 +1,105 @@
+"""Hypothesis stateful test: the dynamic index as a state machine.
+
+Hypothesis drives random sequences of edge insertions, edge deletions,
+vertex insertions, and queries against the incrementally-maintained
+index, holding a naively rebuilt index as the model.  Invariants are
+checked after every step; hypothesis shrinks any failing sequence to a
+minimal counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro import SMCCIndex
+from repro.errors import DisconnectedQueryError
+from repro.graph.generators import clique_chain_graph
+
+
+class DynamicIndexMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        # Small non-trivial start state: two cliques and a bridge.
+        graph = clique_chain_graph([4, 3])
+        self.index = SMCCIndex.build(graph)
+        self.steps_since_check = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.index.num_vertices
+
+    def _non_edges(self):
+        graph = self.index.graph
+        return [
+            (u, v)
+            for u in range(self.n)
+            for v in range(u + 1, self.n)
+            if not graph.has_edge(u, v)
+        ]
+
+    # ------------------------------------------------------------------
+    @precondition(lambda self: self.index.num_edges > 0)
+    @rule(data=st.data())
+    def delete_edge(self, data):
+        edges = self.index.graph.edge_list()
+        u, v = data.draw(st.sampled_from(edges), label="edge")
+        self.index.delete_edge(u, v)
+
+    @precondition(lambda self: len(self._non_edges()) > 0)
+    @rule(data=st.data())
+    def insert_edge(self, data):
+        u, v = data.draw(st.sampled_from(self._non_edges()), label="non-edge")
+        self.index.insert_edge(u, v)
+
+    @precondition(lambda self: self.index.num_vertices < 14)
+    @rule(data=st.data())
+    def insert_vertex(self, data):
+        degree = data.draw(st.integers(0, min(3, self.n)), label="degree")
+        neighbors = data.draw(
+            st.lists(
+                st.integers(0, self.n - 1),
+                min_size=degree,
+                max_size=degree,
+                unique=True,
+            ),
+            label="neighbors",
+        )
+        self.index.insert_vertex(neighbors)
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def matches_fresh_rebuild(self):
+        fresh = SMCCIndex.build(self.index.graph.copy(), with_star=False)
+        n = self.n
+        for u in range(n):
+            for v in range(u + 1, n):
+                try:
+                    maintained = self.index.steiner_connectivity([u, v], "walk")
+                except DisconnectedQueryError:
+                    maintained = 0
+                try:
+                    rebuilt = fresh.steiner_connectivity([u, v], "walk")
+                except DisconnectedQueryError:
+                    rebuilt = 0
+                assert maintained == rebuilt, (u, v)
+
+    @invariant()
+    def conn_graph_consistent(self):
+        self.index.conn_graph.validate()
+
+    @invariant()
+    def mst_cycle_property(self):
+        mst = self.index.mst
+        for u, v, w in mst.non_tree.iter_non_increasing():
+            path = mst.tree_path(u, v)
+            assert path is not None, "NT edge endpoints must share a tree"
+            assert min(e[2] for e in path) >= w
+
+
+DynamicIndexMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestDynamicIndex = DynamicIndexMachine.TestCase

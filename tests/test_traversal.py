@@ -1,0 +1,49 @@
+"""Unit tests for traversal helpers."""
+
+from repro.graph.generators import complete_graph, path_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_order,
+    connected_component,
+    connected_components,
+    is_connected,
+    largest_connected_component,
+)
+
+
+def test_bfs_order_starts_at_source():
+    graph = path_graph(5)
+    order = bfs_order(graph, 2)
+    assert order[0] == 2
+    assert sorted(order) == [0, 1, 2, 3, 4]
+
+
+def test_bfs_order_level_structure():
+    graph = path_graph(5)
+    order = bfs_order(graph, 0)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_connected_component_partial():
+    graph = Graph.from_edges([(0, 1), (2, 3)])
+    assert sorted(connected_component(graph, 0)) == [0, 1]
+    assert sorted(connected_component(graph, 3)) == [2, 3]
+
+
+def test_connected_components_all():
+    graph = Graph.from_edges([(0, 1), (2, 3)], num_vertices=5)
+    comps = sorted(sorted(c) for c in connected_components(graph))
+    assert comps == [[0, 1], [2, 3], [4]]
+
+
+def test_is_connected():
+    assert is_connected(complete_graph(4))
+    assert is_connected(Graph(1))
+    assert is_connected(Graph(0))
+    assert not is_connected(Graph(2))
+
+
+def test_largest_connected_component():
+    graph = Graph.from_edges([(0, 1), (2, 3), (3, 4)])
+    assert sorted(largest_connected_component(graph)) == [2, 3, 4]
+    assert largest_connected_component(Graph(0)) == []

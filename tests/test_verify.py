@@ -1,0 +1,73 @@
+"""Tests for the SMCCIndex.verify() integrity checker (and its CLI)."""
+
+import pytest
+
+from repro import SMCCIndex
+from repro.cli import main
+from repro.errors import IndexStateError
+from repro.graph.generators import paper_example_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def index():
+    return SMCCIndex.build(paper_example_graph())
+
+
+class TestVerifyPasses:
+    def test_fresh_index(self, index):
+        index.verify()
+
+    def test_after_updates(self, index):
+        index.insert_edge(6, 9)
+        index.delete_edge(4, 8)
+        index.delete_edge(0, 1)
+        index.verify()
+
+    def test_after_save_load(self, index, tmp_path):
+        index.save(tmp_path / "idx")
+        SMCCIndex.load(tmp_path / "idx").verify()
+
+    def test_disconnected_graph(self, index):
+        index.delete_edge(4, 11)
+        index.delete_edge(8, 10)  # g3 detaches
+        index.verify()
+
+
+class TestVerifyCatchesDamage:
+    def test_corrupted_tree_weight(self, index):
+        # Sabotage: silently change a tree edge weight without updating Gc.
+        u, v, w = next(iter(index.mst.tree_edges()))
+        index.mst.set_tree_weight(u, v, w + 1)
+        with pytest.raises(IndexStateError):
+            index.verify()
+
+    def test_corrupted_conn_weight(self, index):
+        # Sabotage: wrong sc value stored for an edge.
+        index.conn_graph.set_weight(0, 1, 1)  # truth is 4
+        with pytest.raises(IndexStateError):
+            index.verify()
+
+    def test_missing_nt_edge(self, index):
+        # Sabotage: drop an NT record so tree+NT no longer covers G.
+        u, v, _ = next(index.mst.non_tree.iter_non_increasing())
+        index.mst.non_tree.remove(u, v)
+        with pytest.raises(IndexStateError):
+            index.verify()
+
+    def test_desynced_graph(self, index):
+        # Sabotage: mutate the raw graph behind the index's back.
+        index.graph.remove_edge(0, 1)
+        with pytest.raises(IndexStateError):
+            index.verify()
+
+
+class TestVerifyCLI:
+    def test_cli_verify_ok(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        write_edge_list(paper_example_graph(), graph_file)
+        out = str(tmp_path / "idx")
+        assert main(["build", str(graph_file), "-o", out]) == 0
+        capsys.readouterr()
+        assert main(["verify", out]) == 0
+        assert "index OK" in capsys.readouterr().out

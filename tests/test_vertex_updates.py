@@ -1,0 +1,82 @@
+"""Tests for vertex-level updates (Section 5.2's reduction to edge ops)."""
+
+import pytest
+
+from repro import SMCCIndex
+from repro.errors import DisconnectedQueryError
+from repro.graph.generators import paper_example_graph
+
+
+@pytest.fixture
+def index():
+    return SMCCIndex.build(paper_example_graph())
+
+
+class TestInsertVertex:
+    def test_isolated_insert(self, index):
+        v = index.insert_vertex()
+        assert v == 13
+        assert index.num_vertices == 14
+        assert index.graph.degree(v) == 0
+        # old queries unaffected
+        assert index.steiner_connectivity([0, 3, 4]) == 4
+
+    def test_insert_with_neighbors(self, index):
+        v = index.insert_vertex(neighbors=[0, 1, 2])
+        assert index.graph.degree(v) == 3
+        # the new vertex joins g1's 3-ecc region? It has 3 edges into the
+        # K5, so {v} u g1 is 3-edge connected.
+        assert index.steiner_connectivity([v, 0]) == 3
+        result = index.smcc([v, 0])
+        assert v in result and 0 in result
+
+    def test_insert_matches_rebuild(self, index):
+        index.insert_vertex(neighbors=[0, 1, 2, 3])
+        fresh = SMCCIndex.build(index.graph.copy())
+        for u in range(index.num_vertices):
+            for v in range(u + 1, index.num_vertices):
+                assert index.sc_pair(u, v) == fresh.sc_pair(u, v)
+
+
+class TestDeleteVertex:
+    def test_delete_leaves_isolated_vertex(self, index):
+        changes = index.delete_vertex(9)  # v10 of g3
+        assert index.graph.degree(9) == 0
+        assert index.num_vertices == 13
+        with pytest.raises(DisconnectedQueryError):
+            index.steiner_connectivity([9, 10])
+        # g3 minus v10 is a triangle: connectivity drops from 3 to 2
+        assert index.steiner_connectivity([10, 11, 12]) == 2
+        assert changes  # some sc values changed
+
+    def test_delete_matches_rebuild(self, index):
+        index.delete_vertex(4)  # v5: the articulation-rich hub
+        fresh = SMCCIndex.build(index.graph.copy())
+        for u in range(13):
+            for v in range(u + 1, 13):
+                try:
+                    a = index.sc_pair(u, v)
+                except DisconnectedQueryError:
+                    a = 0
+                try:
+                    b = fresh.sc_pair(u, v)
+                except DisconnectedQueryError:
+                    b = 0
+                assert a == b, (u, v)
+
+    def test_delete_then_reinsert(self, index):
+        before = {
+            (u, v): index.sc_pair(u, v)
+            for u in range(13)
+            for v in range(u + 1, 13)
+        }
+        neighbors = list(index.graph.neighbors(9))
+        index.delete_vertex(9)
+        for nbr in neighbors:
+            index.insert_edge(9, nbr)
+        after = {
+            (u, v): index.sc_pair(u, v)
+            for u in range(13)
+            for v in range(u + 1, 13)
+        }
+        assert before == after
