@@ -24,6 +24,8 @@ Quickstart::
     index.insert_edge(1, 999)                       # incremental maintenance
 """
 
+from __future__ import annotations
+
 from repro.core.queries import SMCCIndex, SMCCResult
 from repro.graph.labels import LabeledSMCCIndex
 from repro.errors import (

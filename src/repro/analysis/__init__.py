@@ -1,0 +1,34 @@
+"""Static analysis and runtime contract layer for the repro library.
+
+Three coordinated defenses against silently breaking the paper's
+invariant-rich algorithms:
+
+- :mod:`repro.analysis.lint` — ``repro-lint``, an AST-based lint engine
+  with domain-specific rules (no bare asserts in library code, no
+  recursion in traversal packages, no accidental O(n) idioms on hot
+  paths, ...).  Run as ``python -m repro.analysis.lint src/repro``.
+- :mod:`repro.analysis.contracts` — ``@postcondition`` / ``invariant()``
+  runtime contracts, zero-overhead unless ``REPRO_CHECK_INVARIANTS`` is
+  set, encoding the paper's lemmas.
+- :mod:`repro.analysis.lemmas` — the concrete checkers for Lemmas
+  4.4-4.6, k-ECC partition validity and Dinic flow conservation that
+  the contracts evaluate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import (
+    invariant,
+    invariants_enabled,
+    postcondition,
+    require,
+    set_invariants_enabled,
+)
+
+__all__ = [
+    "invariant",
+    "invariants_enabled",
+    "postcondition",
+    "require",
+    "set_invariants_enabled",
+]

@@ -1,0 +1,126 @@
+"""The lint engine: file discovery, parsing, suppression handling.
+
+Suppressions are per-line comments::
+
+    some_code()  # repro-lint: ignore[bare-assert]
+    other_code() # repro-lint: ignore[rule-a,rule-b]
+    anything()   # repro-lint: ignore
+
+The bare form suppresses every rule on that line; the bracketed form
+only the named rules.  A suppression applies to findings *reported on*
+the commented line (multi-line statements are anchored at their first
+line by the AST, which is where the comment must go).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import ALL_RULES, Finding, ModuleContext
+from repro.analysis.rules import Rule, make_rules
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_*,\- ]+)\])?"
+)
+
+
+class LintSyntaxError(Exception):
+    """A file handed to the linter does not parse."""
+
+    def __init__(self, path: str, error: SyntaxError) -> None:
+        super().__init__(f"{path}: {error}")
+        self.path = path
+        self.error = error
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed rule ids (``ALL_RULES`` = all)."""
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = frozenset({ALL_RULES})
+        else:
+            suppressions[lineno] = frozenset(
+                part.strip() for part in rules.split(",") if part.strip()
+            )
+    return suppressions
+
+
+def build_context(path: str, source: str, root: Optional[str] = None) -> ModuleContext:
+    """Parse ``source`` into the per-module context rules consume."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintSyntaxError(path, exc) from exc
+    rel = os.path.relpath(path, root) if root else path
+    parts = tuple(part for part in rel.replace(os.sep, "/").split("/") if part)
+    return ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        package_parts=parts,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def lint_context(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
+    """Run ``rules`` over one parsed module, applying suppressions."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    only: Optional[Set[str]] = None,
+    root: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one in-memory module (the unit-test entry point)."""
+    return lint_context(build_context(path, source, root=root), make_rules(only))
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.append(os.path.join(dirpath, filename))
+        else:
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str], only: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Lint files and directories; directory roots scope path-based rules."""
+    rules = make_rules(only)
+    findings: List[Finding] = []
+    for path in paths:
+        root = path if os.path.isdir(path) else os.path.dirname(path) or "."
+        for filename in iter_python_files([path]):
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            ctx = build_context(filename, source, root=root)
+            findings.extend(lint_context(ctx, rules))
+    return findings

@@ -1,0 +1,61 @@
+"""Finding and module-context datatypes shared by the lint engine."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+#: sentinel rule-name meaning "suppress every rule on this line"
+ALL_RULES = "*"
+
+
+@dataclass
+class ModuleContext:
+    """A parsed module handed to each rule.
+
+    ``package_parts`` are the path components below the lint root (used
+    by directory-scoped rules such as ``no-recursion``, which only
+    applies inside ``graph/``, ``kecc/`` and ``flow/``).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    package_parts: Tuple[str, ...]
+    #: line -> set of suppressed rule names (ALL_RULES = everything)
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules: Optional[FrozenSet[str]] = self.suppressions.get(finding.line)
+        if rules is None:
+            return False
+        return ALL_RULES in rules or finding.rule in rules

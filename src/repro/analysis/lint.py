@@ -1,0 +1,105 @@
+"""``repro-lint`` command line interface.
+
+Usage::
+
+    python -m repro.analysis.lint src/repro
+    python -m repro.analysis.lint --format=json src/repro/index/mst.py
+    python -m repro.analysis.lint --rules bare-assert,no-recursion src
+
+Exit status: 0 = clean, 1 = findings reported, 2 = usage / parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.engine import LintSyntaxError, lint_paths
+from repro.analysis.rules import all_rule_ids, rule_description
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-specific lint for the repro library.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories are walked)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            print(f"{rule_id}: {rule_description(rule_id)}")
+        return EXIT_CLEAN
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return EXIT_ERROR
+
+    only = None
+    if args.rules is not None:
+        only = {part.strip() for part in args.rules.split(",") if part.strip()}
+        unknown = only - set(all_rule_ids())
+        if unknown:
+            print(
+                f"repro-lint: error: unknown rules {sorted(unknown)}; "
+                f"available: {', '.join(all_rule_ids())}",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+
+    try:
+        findings = lint_paths(args.paths, only=only)
+    except LintSyntaxError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        lines: List[str] = [f.render() for f in findings]
+        for line in lines:
+            print(line)
+        if findings:
+            print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,411 @@
+"""Domain-specific lint rules for the repro library.
+
+Each rule is an :class:`ast`-walking check registered in a module-level
+registry; the engine instantiates every registered rule against each
+parsed module.  The rules encode hard-won constraints of reproducing
+the paper at production scale:
+
+``bare-assert``
+    ``assert`` is stripped under ``python -O``; correctness guards in
+    library code must go through :mod:`repro.analysis.contracts`
+    (``require`` / ``invariant``) or raise
+    :class:`~repro.errors.InternalInvariantError` explicitly.
+``no-recursion``
+    Recursive traversals in ``graph/``, ``kecc/`` and ``flow/`` blow
+    the interpreter stack on paper-scale graphs (10^6+ vertices);
+    rewrite with an explicit stack.
+``quadratic-list-op``
+    ``list.pop(0)`` and ``x in <list>`` inside loops are accidental
+    O(n^2) idioms on hot paths; use ``collections.deque`` / sets.
+``float-equality``
+    Edge weights and connectivities are integers end to end; a float
+    literal compared with ``==`` signals a unit mistake upstream.
+``future-annotations``
+    ``from __future__ import annotations`` keeps annotation evaluation
+    lazy and the 3.9 baseline happy with modern typing syntax.
+``numpy-truthiness``
+    ``if arr:`` on a numpy array raises (or silently mis-evaluates for
+    size-1 arrays); demand an explicit ``.any()`` / ``.all()`` /
+    ``len()`` / comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Type
+
+from repro.analysis.findings import Finding, ModuleContext
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``description``, implement ``check``."""
+
+    id: str = ""
+    description: str = ""
+    #: directory names this rule is restricted to (None = everywhere)
+    scope_dirs: Optional[FrozenSet[str]] = None
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if self.scope_dirs is None:
+            return True
+        return any(part in self.scope_dirs for part in ctx.package_parts)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id!r}")
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def all_rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def rule_description(rule_id: str) -> str:
+    return _REGISTRY[rule_id].description
+
+
+def make_rules(only: Optional[Set[str]] = None) -> List[Rule]:
+    """Instantiate registered rules, optionally restricted to ``only``."""
+    if only is not None:
+        unknown = only - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+    return [
+        cls() for rule_id, cls in sorted(_REGISTRY.items())
+        if only is None or rule_id in only
+    ]
+
+
+# ----------------------------------------------------------------------
+@register
+class BareAssertRule(Rule):
+    id = "bare-assert"
+    description = (
+        "assert statements are stripped under `python -O`; use "
+        "repro.analysis.contracts.require()/invariant() or raise "
+        "InternalInvariantError instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare assert in library code (disabled by -O); "
+                    "route through repro.analysis.contracts",
+                )
+
+
+# ----------------------------------------------------------------------
+@register
+class NoRecursionRule(Rule):
+    id = "no-recursion"
+    description = (
+        "recursive traversal in graph/, kecc/ or flow/ overflows the "
+        "interpreter stack on paper-scale graphs; use an explicit stack"
+    )
+    scope_dirs = frozenset({"graph", "kecc", "flow"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: ModuleContext, func: ast.AST
+    ) -> Iterator[Finding]:
+        name = func.name  # type: ignore[attr-defined]
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            is_self_call = (
+                isinstance(target, ast.Name) and target.id == name
+            ) or (
+                isinstance(target, ast.Attribute)
+                and target.attr == name
+                and isinstance(target.value, ast.Name)
+                and target.value.id in ("self", "cls")
+            )
+            if is_self_call:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"function {name!r} calls itself; recursion depth is "
+                    "O(graph size) here — rewrite with an explicit stack",
+                )
+
+
+# ----------------------------------------------------------------------
+class _ListNameCollector(ast.NodeVisitor):
+    """Names bound to list values within one function (or module) scope."""
+
+    def __init__(self) -> None:
+        self.list_names: Set[str] = set()
+
+    @staticmethod
+    def _is_list_value(value: ast.AST) -> bool:
+        if isinstance(value, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id in ("list", "sorted"):
+                return True
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_list_value(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.list_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        annotation = ast.dump(node.annotation)
+        if isinstance(node.target, ast.Name) and (
+            "'List'" in annotation or "'list'" in annotation
+        ):
+            self.list_names.add(node.target.id)
+        self.generic_visit(node)
+
+    # Do not descend into nested scopes: their bindings are separate.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+@register
+class QuadraticListOpRule(Rule):
+    id = "quadratic-list-op"
+    description = (
+        "list.pop(0) and `x in <list>` inside loops are O(n) per "
+        "iteration; use collections.deque / a set"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scopes: List[ast.AST] = [ctx.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            collector = _ListNameCollector()
+            for stmt in scope.body:  # type: ignore[attr-defined]
+                collector.visit(stmt)
+            yield from self._check_scope(ctx, scope, collector.list_names)
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ast.AST, list_names: Set[str]
+    ) -> Iterator[Finding]:
+        # Find loop bodies directly inside this scope (not nested defs).
+        stack: List[ast.AST] = list(ast.iter_child_nodes(scope))
+        loops: List[ast.AST] = []
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, (ast.For, ast.While)):
+                loops.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        for loop in loops:
+            for node in ast.walk(loop):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "pop"
+                        and len(node.args) == 1
+                        and isinstance(node.args[0], ast.Constant)
+                        and node.args[0].value == 0
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "list.pop(0) inside a loop is O(n) per call; "
+                            "use collections.deque.popleft()",
+                        )
+                elif isinstance(node, ast.Compare):
+                    for op, comparator in zip(node.ops, node.comparators):
+                        if (
+                            isinstance(op, (ast.In, ast.NotIn))
+                            and isinstance(comparator, ast.Name)
+                            and comparator.id in list_names
+                        ):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"membership test against list "
+                                f"{comparator.id!r} inside a loop is O(n) "
+                                "per iteration; use a set",
+                            )
+
+
+# ----------------------------------------------------------------------
+@register
+class FloatEqualityRule(Rule):
+    id = "float-equality"
+    description = (
+        "edge weights/connectivities are integers; == against a float "
+        "literal signals a unit bug and is unstable anyway"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if not has_eq:
+                continue
+            for operand in operands:
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, float
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "float literal compared with ==/!=; edge weights "
+                        "are integral — compare ints or use math.isclose",
+                    )
+                    break
+
+
+# ----------------------------------------------------------------------
+@register
+class FutureAnnotationsRule(Rule):
+    id = "future-annotations"
+    description = (
+        "every module must start with `from __future__ import "
+        "annotations` (lazy annotations, 3.9-compatible typing syntax)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.tree.body:
+            return  # genuinely empty module
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "__future__"
+                and any(alias.name == "annotations" for alias in node.names)
+            ):
+                return
+        anchor = ctx.tree.body[0]
+        yield Finding(
+            path=ctx.path,
+            line=getattr(anchor, "lineno", 1),
+            col=0,
+            rule=self.id,
+            message="module is missing `from __future__ import annotations`",
+        )
+
+
+# ----------------------------------------------------------------------
+@register
+class NumpyTruthinessRule(Rule):
+    id = "numpy-truthiness"
+    description = (
+        "truthiness of numpy results raises on arrays (ambiguous truth "
+        "value); use .any()/.all()/len()/explicit comparison"
+    )
+
+    _GUARD_ATTRS = frozenset({"any", "all"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        aliases = self._numpy_aliases(ctx.tree)
+        if not aliases:
+            return
+        numpy_names = self._numpy_bound_names(ctx.tree, aliases)
+        for test in self._truthiness_contexts(ctx.tree):
+            if self._is_unguarded_numpy(test, aliases, numpy_names):
+                yield self.finding(
+                    ctx,
+                    test,
+                    "truthiness of a numpy expression; arrays raise here — "
+                    "use .any()/.all()/len() or an explicit comparison",
+                )
+
+    @staticmethod
+    def _numpy_aliases(tree: ast.Module) -> Set[str]:
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        aliases.add(alias.asname or "numpy")
+        return aliases
+
+    @staticmethod
+    def _numpy_bound_names(tree: ast.Module, aliases: Set[str]) -> Set[str]:
+        """Names assigned directly from an un-guarded ``np.*()`` call."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id in aliases
+                and value.func.attr not in NumpyTruthinessRule._GUARD_ATTRS
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    @staticmethod
+    def _truthiness_contexts(tree: ast.Module) -> Iterator[ast.expr]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                yield node.test
+            elif isinstance(node, ast.Assert):
+                yield node.test
+            elif isinstance(node, ast.BoolOp):
+                yield from node.values
+            elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+                yield node.operand
+            elif isinstance(node, ast.comprehension):
+                yield from node.ifs
+
+    @staticmethod
+    def _is_unguarded_numpy(
+        expr: ast.expr, aliases: Set[str], numpy_names: Set[str]
+    ) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in numpy_names
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            func = expr.func
+            if func.attr in NumpyTruthinessRule._GUARD_ATTRS:
+                return False
+            return isinstance(func.value, ast.Name) and func.value.id in aliases
+        return False

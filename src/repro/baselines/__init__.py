@@ -1,5 +1,7 @@
 """Baseline (index-free) algorithms from Section 3 of the paper."""
 
+from __future__ import annotations
+
 from repro.baselines.baseline import (
     sc_baseline,
     smcc_baseline,

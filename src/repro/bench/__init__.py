@@ -1,5 +1,7 @@
 """Benchmark substrate: datasets, workloads, harness, and reporting."""
 
+from __future__ import annotations
+
 from repro.bench.datasets import DATASETS, DatasetSpec, get_dataset, list_datasets
 from repro.bench.workloads import (
     generate_local_queries,

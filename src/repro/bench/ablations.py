@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import (
     DisconnectedQueryError,
     InfeasibleSizeConstraintError,
+    InternalInvariantError,
 )
 from repro.index.maintenance import IndexMaintainer
 from repro.index.mst import MSTIndex, _normalize_query
@@ -81,7 +82,8 @@ def smcc_l_heap(
     if any(component[v] != component[q[0]] for v in q[1:]):
         raise DisconnectedQueryError("query spans multiple components")
     sorted_adj = mst._sorted_adj
-    assert sorted_adj is not None
+    if sorted_adj is None:
+        raise InternalInvariantError("_ensure_derived left sorted adjacency unset")
     v0 = q[0]
     needed = set(q)
     seen = {v0}
@@ -109,7 +111,8 @@ def smcc_l_heap(
         if sorted_adj[v]:
             heapq.heappush(heap, (-sorted_adj[v][0][0], v, 0))
         if k == 0 and remaining == 0 and len(order) >= size_bound:
-            assert min_popped is not None
+            if min_popped is None:  # unreachable: the loop popped at least once
+                raise InternalInvariantError("size bound newly met before any pop")
             k = min_popped
     if k == 0:
         if remaining == 0 and len(order) >= size_bound:
@@ -157,7 +160,8 @@ def sc_full_bfs(mst: MSTIndex, q: Sequence[int]) -> int:
                 best = w
             in_tq.add(x)
             x = parent[x]
-    assert best is not None
+    if best is None:  # unreachable: |q| >= 2 in one component
+        raise InternalInvariantError("full-BFS T_q walk used no edge")
     return best
 
 

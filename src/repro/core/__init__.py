@@ -1,5 +1,7 @@
 """Core query layer: the paper's optimal algorithms and the public facade."""
 
+from __future__ import annotations
+
 from repro.core.extensions import (
     smcc_cover,
     steiner_connectivity_with_size,

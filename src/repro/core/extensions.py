@@ -13,9 +13,9 @@ exactly as the paper sketches.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import QueryError
+from repro.errors import InternalInvariantError, QueryError
 from repro.index.mst import MSTIndex, _normalize_query
 from repro.util.bucket_queue import MaxBucketQueue
 
@@ -75,7 +75,7 @@ def _prioritized_search(
     mst: MSTIndex,
     v0: int,
     stop: Callable[[int, int], bool],
-    needed: set,
+    needed: Set[int],
 ) -> Optional[Tuple[List[int], int]]:
     """Algorithm 5 generalized: fix k when ``stop(|visited|, query-hits)`` holds.
 
@@ -84,8 +84,9 @@ def _prioritized_search(
     """
     mst._ensure_derived()
     sorted_adj = mst._sorted_adj
-    assert sorted_adj is not None
-    queue = MaxBucketQueue(max(mst.n, 1))
+    if sorted_adj is None:
+        raise InternalInvariantError("_ensure_derived left sorted adjacency unset")
+    queue: MaxBucketQueue[Tuple[int, int]] = MaxBucketQueue(max(mst.n, 1))
     visited = {v0}
     order = [v0]
     hits = 1 if v0 in needed else 0
@@ -118,7 +119,10 @@ def _prioritized_search(
         if k == 0 and stop(len(order), hits):
             # Algorithm 5 line 11: the minimum popped weight becomes the
             # connectivity; the loop then drains all edges >= k.
-            assert min_popped is not None
+            if min_popped is None:  # unreachable: the loop popped at least once
+                raise InternalInvariantError(
+                    "stop condition newly satisfied before any pop"
+                )
             k = min_popped
     if k == 0:
         return None
@@ -150,7 +154,8 @@ def smcc_cover(
         )
     mst._ensure_derived()
     sorted_adj = mst._sorted_adj
-    assert sorted_adj is not None
+    if sorted_adj is None:
+        raise InternalInvariantError("_ensure_derived left sorted adjacency unset")
 
     if num_components == len(q):
         # Degenerate: each query vertex is covered by its own singleton
@@ -173,12 +178,12 @@ def smcc_cover(
             x = parent[x]
         return x
 
-    queues: List[MaxBucketQueue] = []
+    queues: List[MaxBucketQueue[Tuple[int, int]]] = []
     min_popped: List[Optional[int]] = [None] * num_instances
     seeds: List[int] = list(q)
     owner: Dict[int, int] = {}
     for idx, v in enumerate(q):
-        queue = MaxBucketQueue(max(mst.n, 1))
+        queue: MaxBucketQueue[Tuple[int, int]] = MaxBucketQueue(max(mst.n, 1))
         if sorted_adj[v]:
             queue.push(sorted_adj[v][0][0], (v, 0))
         queues.append(queue)

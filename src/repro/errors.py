@@ -20,7 +20,7 @@ class GraphError(ReproError):
 class VertexNotFoundError(GraphError, KeyError):
     """Raised when an operation references a vertex that does not exist."""
 
-    def __init__(self, vertex) -> None:
+    def __init__(self, vertex: object) -> None:
         super().__init__(f"vertex {vertex!r} is not in the graph")
         self.vertex = vertex
 
@@ -28,7 +28,7 @@ class VertexNotFoundError(GraphError, KeyError):
 class EdgeNotFoundError(GraphError, KeyError):
     """Raised when an operation references an edge that does not exist."""
 
-    def __init__(self, u, v) -> None:
+    def __init__(self, u: object, v: object) -> None:
         super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
         self.edge = (u, v)
 
@@ -64,3 +64,28 @@ class InfeasibleSizeConstraintError(QueryError):
 
 class IndexStateError(ReproError):
     """Raised when an index is used before it is built or after corruption."""
+
+
+class InternalInvariantError(ReproError):
+    """Raised when an internal algorithmic invariant is violated.
+
+    These replace bare ``assert`` statements in library code: an
+    ``assert`` is stripped under ``python -O``, silently disabling the
+    correctness guard, while this exception always fires.  Seeing it
+    means a bug *inside* the library (a lemma of the paper failed to
+    hold at runtime), never a caller mistake.
+    """
+
+
+class ContractViolationError(InternalInvariantError):
+    """Raised by :mod:`repro.analysis.contracts` when an enabled
+    postcondition or invariant check fails.
+
+    Only ever raised when ``REPRO_CHECK_INVARIANTS`` is set; carries the
+    name of the contract (usually the paper lemma it encodes).
+    """
+
+    def __init__(self, contract: str, detail: str) -> None:
+        super().__init__(f"contract {contract!r} violated: {detail}")
+        self.contract = contract
+        self.detail = detail

@@ -1,5 +1,7 @@
 """Flow and cut algorithms used as exact substrates and test oracles."""
 
+from __future__ import annotations
+
 from repro.flow.dinic import Dinic, edge_connectivity_between, global_edge_connectivity
 from repro.flow.gomory_hu import GomoryHuTree, all_pairs_min_cut, build_gomory_hu
 from repro.flow.stoer_wagner import stoer_wagner_min_cut

@@ -12,8 +12,10 @@ k-edge connected *induced component*, not just k edge-disjoint paths.
 from __future__ import annotations
 
 from collections import deque
-from typing import List
+from typing import List, Optional, Tuple
 
+from repro.analysis.contracts import invariant, invariants_enabled
+from repro.analysis.lemmas import dinic_flow_conserved
 from repro.graph.graph import Graph
 
 
@@ -26,6 +28,14 @@ class Dinic:
         self._to: List[int] = []
         self._cap: List[int] = []
         self._head: List[List[int]] = [[] for _ in range(num_vertices)]
+        # Initial capacities and (source, sink, value) call history, kept
+        # only when the flow-conservation contract is active so the
+        # default path stays allocation-free.
+        tracking = invariants_enabled()
+        self._orig_cap: Optional[List[int]] = [] if tracking else None
+        self._flow_history: Optional[List[Tuple[int, int, int]]] = (
+            [] if tracking else None
+        )
 
     def add_edge(self, u: int, v: int, cap: int, rcap: int = 0) -> None:
         """Add arc ``u -> v`` with capacity ``cap`` and reverse capacity ``rcap``."""
@@ -35,6 +45,8 @@ class Dinic:
         self._head[v].append(len(self._to))
         self._to.append(u)
         self._cap.append(rcap)
+        if self._orig_cap is not None:
+            self._orig_cap.extend((cap, rcap))
 
     def add_undirected_edge(self, u: int, v: int, cap: int = 1) -> None:
         """Add an undirected unit edge (both residual directions share arcs)."""
@@ -68,9 +80,24 @@ class Dinic:
                 if pushed == 0:
                     break
                 flow += pushed
+        if self._flow_history is not None:
+            self._flow_history.append((source, sink, flow))
+        invariant(
+            "dinic-flow-conservation",
+            lambda: dinic_flow_conserved(self),
+            "residual network does not encode a feasible flow of the "
+            "returned value(s)",
+        )
         return flow
 
-    def _dfs_push(self, source, sink, limit, level, it) -> int:
+    def _dfs_push(
+        self,
+        source: int,
+        sink: int,
+        limit: int,
+        level: List[int],
+        it: List[int],
+    ) -> int:
         """Find one augmenting path in the level graph (iterative DFS)."""
         to, cap, head = self._to, self._cap, self._head
         path: List[int] = []  # arcs along the current path

@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from repro.errors import DisconnectedQueryError, VertexNotFoundError
+from repro.errors import (
+    DisconnectedQueryError,
+    InternalInvariantError,
+    VertexNotFoundError,
+)
 from repro.flow.dinic import Dinic
 from repro.graph.graph import Graph
 
@@ -35,19 +39,22 @@ class GomoryHuTree:
         self.parent = parent
         self.flow = flow
         self.n = len(parent)
-        # Depth array for the path-min walk.
-        self._depth = [0] * self.n
-        order = sorted(range(self.n), key=lambda v: self._chain_length(v))
-        for v in order:
-            p = parent[v]
-            self._depth[v] = 0 if p < 0 else self._depth[p] + 1
-
-    def _chain_length(self, v: int) -> int:
-        length = 0
-        while self.parent[v] >= 0:
-            length += 1
-            v = self.parent[v]
-        return length
+        # Depth array for the path-min walk, filled in O(n) total: walk
+        # each vertex's parent chain only until a vertex with a known
+        # depth, then unwind.  (Sorting by chain length recomputed the
+        # full chain per vertex — O(n^2) on path-shaped trees.)
+        self._depth = [-1] * self.n
+        for v in range(self.n):
+            chain: List[int] = []
+            x = v
+            while self._depth[x] < 0 and parent[x] >= 0:
+                chain.append(x)
+                x = parent[x]
+            if self._depth[x] < 0:
+                self._depth[x] = 0  # a root
+            base = self._depth[x]
+            for offset, y in enumerate(reversed(chain), start=1):
+                self._depth[y] = base + offset
 
     def min_cut(self, u: int, v: int) -> int:
         """λ(u, v): the minimum tree-edge flow on the u..v path."""
@@ -76,7 +83,10 @@ class GomoryHuTree:
                 if best is None or flow[v] < best:
                     best = flow[v]
                 v = parent[v]
-        assert best is not None
+        if best is None:
+            raise InternalInvariantError(
+                "gomory-hu path walk visited no tree edge for distinct vertices"
+            )
         return best
 
     def tree_edges(self) -> List[Tuple[int, int, int]]:

@@ -10,9 +10,9 @@ contraction.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.errors import GraphError
+from repro.errors import GraphError, InternalInvariantError
 
 
 def stoer_wagner_min_cut(
@@ -70,12 +70,15 @@ def stoer_wagner_min_cut(
         if best_weight == 0:
             break
 
-    assert best_weight is not None
+    if best_weight is None:
+        raise InternalInvariantError(
+            "stoer-wagner finished its phases without recording any cut"
+        )
     return best_weight, best_side
 
 
 def _max_adjacency_phase(
-    adj: List[Dict[int, int]], active: set, start: int
+    adj: List[Dict[int, int]], active: Set[int], start: int
 ) -> Tuple[List[int], Dict[int, int]]:
     """Maximum adjacency search; returns the visit order and final weights."""
     attach: Dict[int, int] = {start: 0}

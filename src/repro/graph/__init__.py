@@ -1,5 +1,7 @@
 """Graph substrate: data structures, traversal, generators and IO."""
 
+from __future__ import annotations
+
 from repro.graph.csr import CSRGraph
 from repro.graph.graph import Graph
 from repro.graph.traversal import (

@@ -69,20 +69,21 @@ class CSRGraph:
         weights: Optional[Sequence[int]] = None,
     ) -> "CSRGraph":
         """Build from parallel endpoint arrays (one entry per undirected edge)."""
-        us = np.asarray(us, dtype=np.int64)
-        vs = np.asarray(vs, dtype=np.int64)
-        heads = np.concatenate([us, vs])
-        tails = np.concatenate([vs, us])
+        us_arr = np.asarray(us, dtype=np.int64)
+        vs_arr = np.asarray(vs, dtype=np.int64)
+        heads = np.concatenate([us_arr, vs_arr])
+        tails = np.concatenate([vs_arr, us_arr])
+        ws: Optional[np.ndarray] = None
         if weights is not None:
-            ws = np.asarray(weights, dtype=np.int64)
-            ws = np.concatenate([ws, ws])
+            half = np.asarray(weights, dtype=np.int64)
+            ws = np.concatenate([half, half])
         order = np.argsort(heads, kind="stable")
         heads = heads[order]
         tails = tails[order]
         indptr = np.zeros(num_vertices + 1, dtype=np.int64)
         np.add.at(indptr[1:], heads, 1)
         np.cumsum(indptr, out=indptr)
-        if weights is not None:
+        if ws is not None:
             return cls(indptr, tails, ws[order])
         return cls(indptr, tails)
 

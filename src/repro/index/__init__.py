@@ -1,5 +1,7 @@
 """Index layer: connectivity graph, MST / MST* indexes, and maintenance."""
 
+from __future__ import annotations
+
 from repro.index.connectivity_graph import (
     ConnectivityGraph,
     build_connectivity_graph,

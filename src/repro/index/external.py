@@ -26,7 +26,11 @@ import struct
 from collections import OrderedDict, deque
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.errors import DisconnectedQueryError, EmptyQueryError
+from repro.errors import (
+    DisconnectedQueryError,
+    EmptyQueryError,
+    InternalInvariantError,
+)
 from repro.index.mst import MSTIndex
 
 PathLike = Union[str, os.PathLike]
@@ -173,7 +177,10 @@ class ExternalMST:
         from repro.util.bucket_queue import MaxBucketQueue
 
         needed = set(q[1:])
-        queue = MaxBucketQueue(max(self.n, 1))
+        # Items are (vertex, adjacency cursor, that vertex's adjacency).
+        queue: MaxBucketQueue[Tuple[int, int, List[Tuple[int, int]]]] = MaxBucketQueue(
+            max(self.n, 1)
+        )
         visited = {q[0]}
         adjacency = self.adjacency(q[0])
         if adjacency:
@@ -195,5 +202,8 @@ class ExternalMST:
             v_adj = self.adjacency(v)
             if v_adj:
                 queue.push(v_adj[0][0], (v, 0, v_adj))
-        assert min_used is not None
+        if min_used is None:  # unreachable: needed was non-empty
+            raise InternalInvariantError(
+                "external sc walk satisfied the query without using an edge"
+            )
         return min_used

@@ -26,10 +26,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.contracts import invariant
+from repro.analysis.lemmas import is_maximum_spanning_forest, tq_min_weight_matches
 from repro.errors import (
     DisconnectedQueryError,
     EmptyQueryError,
     InfeasibleSizeConstraintError,
+    InternalInvariantError,
     VertexNotFoundError,
 )
 from repro.index.connectivity_graph import ConnectivityGraph
@@ -219,7 +222,15 @@ class MSTIndex:
                 # Loop ended with u == v: that meeting point is lca_i.
                 marks[u] = epoch
                 lca = u
-        assert min_weight is not None  # |q| >= 2 in one component
+        if min_weight is None:  # unreachable: |q| >= 2 in one component
+            raise InternalInvariantError(
+                "LCA walk over a multi-vertex connected query used no edge"
+            )
+        invariant(
+            "lemma-4.5-tq-min-weight",
+            lambda: tq_min_weight_matches(self, q, min_weight),
+            "Algorithm 10 result disagrees with the full-BFS T_q recompute",
+        )
         return min_weight
 
     def _singleton_sc(self, v: int) -> int:
@@ -292,7 +303,8 @@ class MSTIndex:
         visited = [v0]
         remaining_query = len(needed) - 1 if v0 in needed else len(needed)
 
-        queue = MaxBucketQueue(max(self.n, 1))  # weights are in 1 .. n-1
+        # Items are (vertex, adjacency cursor); weights are in 1 .. n-1.
+        queue: MaxBucketQueue[Tuple[int, int]] = MaxBucketQueue(max(self.n, 1))
         if sorted_adj[v0]:  # type: ignore[index]
             w, _ = sorted_adj[v0][0]  # type: ignore[index]
             queue.push(w, (v0, 0))
@@ -454,6 +466,11 @@ def build_mst(conn_graph: ConnectivityGraph) -> MSTIndex:
                 index.add_tree_edge(u, v, w)
             else:
                 index.non_tree.add(u, v, w)
+    invariant(
+        "lemma-4.4-mst-preserves-sc",
+        lambda: is_maximum_spanning_forest(index, conn_graph),
+        "built tree is not a maximum spanning forest of the connectivity graph",
+    )
     return index
 
 

@@ -24,9 +24,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.contracts import invariant
+from repro.analysis.lemmas import mst_star_consistent
 from repro.errors import (
     DisconnectedQueryError,
     EmptyQueryError,
+    InternalInvariantError,
     VertexNotFoundError,
 )
 from repro.index.lca import EulerTourLCA
@@ -282,7 +285,10 @@ class MSTStar:
             w = weights[euler[a if depth[a] <= depth[b] else b]]
             if best is None or w < best:
                 best = w
-        assert best is not None
+        if best is None:  # unreachable: q has >= 2 vertices, one component
+            raise InternalInvariantError(
+                "MST* LCA scan over a multi-vertex query produced no weight"
+            )
         return best
 
     # ------------------------------------------------------------------
@@ -347,4 +353,10 @@ def build_mst_star(mst: MSTIndex) -> MSTStar:
             parents[root_u] = node
             parents[root_v] = node
             ds.union_with_root(u, v, node)
-    return MSTStar(n, parents, weights, tree_edge_of_node)
+    star = MSTStar(n, parents, weights, tree_edge_of_node)
+    invariant(
+        "lemma-a.1-mst-star-structure",
+        lambda: mst_star_consistent(star, mst),
+        "MST* violates Lemma A.1/A.2 (shape, weight order, or LCA weights)",
+    )
+    return star

@@ -16,6 +16,8 @@ vertex groups``):
   but exact, used as the oracle in tests.
 """
 
+from __future__ import annotations
+
 from typing import Callable, List, Sequence, Tuple
 
 from repro.kecc.core_decomposition import (

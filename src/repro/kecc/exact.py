@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from repro.analysis.contracts import invariant
+from repro.analysis.lemmas import is_partition
 from repro.kecc.mas import components_of, max_adjacency_order
 
 Edge = Tuple[int, int]
@@ -65,6 +67,11 @@ def keccs_exact(num_vertices: int, edges: Sequence[Edge], k: int) -> List[List[i
                 edges_by_piece[pu].append((u, v))
         for piece, sub_edges in zip(pieces, edges_by_piece):
             stack.append((piece, sub_edges))
+    invariant(
+        "kecc-partition-validity",
+        lambda: is_partition(groups, num_vertices),
+        "k-ECC groups do not partition the vertex set",
+    )
     return groups
 
 

@@ -13,11 +13,16 @@ KECC engine exploits:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+#: Weighted multigraph adjacency: dense (list indexed by vertex id) or
+#: sparse (dict keyed by vertex id); both map each vertex to
+#: ``{neighbor: multiplicity}``.
+Adjacency = Union[Sequence[Dict[int, int]], Dict[int, Dict[int, int]]]
 
 
 def max_adjacency_order(
-    adj: Dict[int, Dict[int, int]], start: int
+    adj: Adjacency, start: int
 ) -> Tuple[List[int], List[int]]:
     """Compute a maximum adjacency order of the component containing ``start``.
 
@@ -75,10 +80,10 @@ def max_adjacency_order(
     return order, weights
 
 
-def components_of(adj: Dict[int, Dict[int, int]], nodes: Iterable[int]) -> List[List[int]]:
+def components_of(adj: Adjacency, nodes: Iterable[int]) -> List[List[int]]:
     """Connected components of the multigraph restricted to ``nodes``."""
     nodes = list(nodes)
-    seen = set()
+    seen: Set[int] = set()
     comps: List[List[int]] = []
     for s in nodes:
         if s in seen:

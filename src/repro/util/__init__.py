@@ -1,5 +1,7 @@
 """Shared low-level data structures used across the repro library."""
 
+from __future__ import annotations
+
 from repro.util.bucket_queue import EdgeBuckets, MaxBucketQueue
 from repro.util.disjoint_set import DisjointSet, DisjointSetWithRoot
 

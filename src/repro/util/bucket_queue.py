@@ -13,10 +13,12 @@ The paper relies on bin-sort style bucket structures in two places:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Generic, Iterator, List, Set, Tuple, TypeVar
+
+T = TypeVar("T")
 
 
-class MaxBucketQueue:
+class MaxBucketQueue(Generic[T]):
     """Max-priority queue over items with integer keys in ``0 .. max_key``.
 
     ``push`` is O(1).  ``pop_max`` is amortized O(1) plus the total
@@ -30,7 +32,7 @@ class MaxBucketQueue:
     def __init__(self, max_key: int) -> None:
         if max_key < 0:
             raise ValueError(f"max_key must be >= 0, got {max_key}")
-        self._buckets: List[list] = [[] for _ in range(max_key + 1)]
+        self._buckets: List[List[T]] = [[] for _ in range(max_key + 1)]
         self._cur = -1  # index of the highest possibly-non-empty bucket
         self._size = 0
 
@@ -40,7 +42,7 @@ class MaxBucketQueue:
     def __bool__(self) -> bool:
         return self._size > 0
 
-    def push(self, key: int, item) -> None:
+    def push(self, key: int, item: T) -> None:
         """Insert ``item`` with priority ``key``."""
         self._buckets[key].append(item)
         if key > self._cur:
@@ -58,7 +60,7 @@ class MaxBucketQueue:
         self._cur = cur
         return cur
 
-    def pop_max(self) -> Tuple[int, object]:
+    def pop_max(self) -> Tuple[int, T]:
         """Remove and return ``(key, item)`` with the largest key."""
         if self._size == 0:
             raise IndexError("pop from an empty MaxBucketQueue")
@@ -79,7 +81,7 @@ class EdgeBuckets:
     __slots__ = ("_by_weight", "_weight_of")
 
     def __init__(self) -> None:
-        self._by_weight: Dict[int, set] = {}
+        self._by_weight: Dict[int, Set[Tuple[int, int]]] = {}
         self._weight_of: Dict[Tuple[int, int], int] = {}
 
     @staticmethod

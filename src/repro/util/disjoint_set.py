@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import InternalInvariantError
+
 
 class DisjointSet:
     """Union-find over elements ``0 .. n-1`` with rank + path compression."""
@@ -110,7 +112,11 @@ class DisjointSetWithRoot:
     def find_root(self, x: int) -> int:
         """Return the attached root payload of the set containing ``x``."""
         root = self.attached[self._ds.find(x)]
-        assert root is not None
+        if root is None:
+            raise InternalInvariantError(
+                f"set of element {x} has no attached root; "
+                "union_with_root bookkeeping was bypassed"
+            )
         return root
 
     def union_with_root(self, x: int, y: int, new_root: int) -> None:

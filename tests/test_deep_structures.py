@@ -1,0 +1,90 @@
+"""Regression tests on degenerate deep structures (long paths/chains).
+
+These pin two properties that are invisible on small fixtures:
+
+- ``Dinic`` is fully iterative — a path graph with 10^5 vertices must
+  solve under a recursion limit far below the path length (a recursive
+  ``_dfs_push`` would blow the stack).
+- ``GomoryHuTree`` computes its depth array in O(n) total via memoized
+  chain walks.  The previous implementation re-walked every vertex's
+  full parent chain, which is O(n^2) on chain-shaped trees — on the
+  10^5-vertex chain below that is ~10^10 steps and effectively hangs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.flow.dinic import Dinic
+from repro.flow.gomory_hu import GomoryHuTree
+
+DEEP_N = 100_000
+
+
+@pytest.fixture
+def low_recursion_limit():
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(1_000)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+class TestDinicDeepPath:
+    def test_max_flow_on_long_path(self, low_recursion_limit):
+        d = Dinic(DEEP_N)
+        for v in range(DEEP_N - 1):
+            d.add_undirected_edge(v, v + 1)
+        assert d.max_flow(0, DEEP_N - 1) == 1
+
+    def test_min_cut_side_on_long_path(self, low_recursion_limit):
+        d = Dinic(DEEP_N)
+        for v in range(DEEP_N - 1):
+            d.add_undirected_edge(v, v + 1)
+        d.max_flow(0, DEEP_N - 1)
+        side = d.min_cut_side(0)
+        # A saturated unit path leaves only the source reachable.
+        assert side[0] and not side[DEEP_N - 1]
+
+    def test_wide_capacity_path(self, low_recursion_limit):
+        # Larger capacities force repeated augmentation along the same
+        # deep level graph.
+        d = Dinic(DEEP_N)
+        for v in range(DEEP_N - 1):
+            d.add_undirected_edge(v, v + 1, cap=3)
+        assert d.max_flow(0, DEEP_N - 1) == 3
+
+
+class TestGomoryHuDeepChain:
+    def _chain(self, n: int) -> GomoryHuTree:
+        parent = [-1] + list(range(n - 1))
+        flow = [0] + [(v % 7) + 1 for v in range(1, n)]
+        return GomoryHuTree(parent, flow)
+
+    def test_depth_array_is_linear_time(self, low_recursion_limit):
+        started = time.monotonic()
+        tree = self._chain(DEEP_N)
+        elapsed = time.monotonic() - started
+        assert tree._depth == list(range(DEEP_N))
+        # O(n) finishes in well under a second; the quadratic version
+        # needs ~10^10 chain steps here.  A generous bound keeps slow
+        # CI machines green while still catching the regression.
+        assert elapsed < 20.0
+
+    def test_min_cut_walks_full_chain(self, low_recursion_limit):
+        tree = self._chain(DEEP_N)
+        assert tree.min_cut(0, DEEP_N - 1) == 1
+        # A sub-path that excludes every weight-1 edge (v % 7 == 0).
+        assert tree.min_cut(1, 6) == min((v % 7) + 1 for v in range(2, 7))
+
+    def test_depths_with_multiple_roots(self):
+        # Forest: two chains sharing the vertex numbering.
+        parent = [-1, 0, 1, -1, 3]
+        flow = [0, 5, 4, 0, 2]
+        tree = GomoryHuTree(parent, flow)
+        assert tree._depth == [0, 1, 2, 0, 1]
+        assert tree.min_cut(0, 2) == 4
