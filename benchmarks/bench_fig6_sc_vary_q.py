@@ -16,7 +16,7 @@ def test_sc_mst_star_vary_q(benchmark, size):
     index = prepared_index("D3")
     next_query = query_cycler(index, size=size)
     benchmark.extra_info["query_size"] = size
-    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="star"))
 
 
 @pytest.mark.parametrize("size", QUERY_SIZES)
@@ -24,4 +24,4 @@ def test_sc_mst_walk_vary_q(benchmark, size):
     index = prepared_index("D3")
     next_query = query_cycler(index, size=size)
     benchmark.extra_info["query_size"] = size
-    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="walk"))

@@ -17,7 +17,7 @@ def test_sc_mst_star_scalability(benchmark, name):
     index = prepared_index(name)
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
-    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="star"))
 
 
 @pytest.mark.parametrize("name", DATASETS)
@@ -25,4 +25,4 @@ def test_sc_mst_walk_scalability(benchmark, name):
     index = prepared_index(name)
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
-    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="walk"))

@@ -19,4 +19,4 @@ def test_smcc_l_opt_scalability(benchmark, name):
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
     benchmark.extra_info["L"] = bound
-    benchmark(lambda: index.smcc_l(next_query(), bound))
+    benchmark(lambda: index.smcc_l(next_query(), size_bound=bound))

@@ -20,7 +20,7 @@ def test_sc_mst_star(benchmark, name):
     index = prepared_index(name)
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
-    benchmark(lambda: index.steiner_connectivity(next_query(), "star"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="star"))
 
 
 @pytest.mark.parametrize("name", DATASETS)
@@ -28,7 +28,7 @@ def test_sc_mst_walk(benchmark, name):
     index = prepared_index(name)
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
-    benchmark(lambda: index.steiner_connectivity(next_query(), "walk"))
+    benchmark(lambda: index.steiner_connectivity(next_query(), method="walk"))
 
 
 def test_sc_baseline(benchmark):

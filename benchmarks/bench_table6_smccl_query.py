@@ -25,7 +25,7 @@ def test_smcc_l_opt(benchmark, name):
     next_query = query_cycler(index)
     benchmark.extra_info["dataset"] = name
     benchmark.extra_info["L"] = bound
-    benchmark(lambda: index.smcc_l(next_query(), bound))
+    benchmark(lambda: index.smcc_l(next_query(), size_bound=bound))
 
 
 @pytest.mark.parametrize("name", ["D1", "SSCA1"])

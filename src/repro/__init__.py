@@ -26,7 +26,7 @@ Quickstart::
 
 from __future__ import annotations
 
-from repro.core.queries import SMCCIndex, SMCCResult
+from repro.core.queries import SMCCIndex, SMCCInterval, SMCCResult, VerifyReport
 from repro.graph.labels import LabeledSMCCIndex
 from repro.errors import (
     DisconnectedQueryError,
@@ -46,6 +46,8 @@ __version__ = "1.0.0"
 __all__ = [
     "SMCCIndex",
     "SMCCResult",
+    "SMCCInterval",
+    "VerifyReport",
     "LabeledSMCCIndex",
     "Graph",
     "ReproError",

@@ -27,6 +27,11 @@ the paper at production scale:
     ``if arr:`` on a numpy array raises (or silently mis-evaluates for
     size-1 arrays); demand an explicit ``.any()`` / ``.all()`` /
     ``len()`` / comparison.
+``perf-counter-outside-obs``
+    ad-hoc ``time.perf_counter()`` timing bypasses the observability
+    layer; outside :mod:`repro.obs`, time through
+    :class:`repro.obs.timing.Stopwatch` / ``repro.obs.timing.monotonic``
+    so measurements land in the metrics registry consistently.
 """
 
 from __future__ import annotations
@@ -409,3 +414,54 @@ class NumpyTruthinessRule(Rule):
                 return False
             return isinstance(func.value, ast.Name) and func.value.id in aliases
         return False
+
+
+# ----------------------------------------------------------------------
+@register
+class PerfCounterOutsideObsRule(Rule):
+    id = "perf-counter-outside-obs"
+    description = (
+        "raw time.perf_counter() outside repro.obs bypasses the "
+        "observability layer; use repro.obs.timing.Stopwatch/monotonic"
+    )
+
+    _CLOCKS = frozenset({"perf_counter", "perf_counter_ns"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # The obs package is the one sanctioned home of the raw clock.
+        return "obs" not in ctx.package_parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        time_aliases = self._time_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._CLOCKS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`from time import {alias.name}` outside "
+                            "repro.obs; import repro.obs.timing instead",
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._CLOCKS
+                and isinstance(node.value, ast.Name)
+                and node.value.id in time_aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "time.perf_counter outside repro.obs; use "
+                    "repro.obs.timing.Stopwatch or monotonic()",
+                )
+
+    @staticmethod
+    def _time_aliases(tree: ast.Module) -> Set[str]:
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        aliases.add(alias.asname or "time")
+        return aliases

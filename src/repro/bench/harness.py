@@ -17,7 +17,6 @@ queries per set where you have the patience.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,6 +42,7 @@ from repro.index.persistence import (
     connectivity_graph_size_bytes,
     mst_size_bytes,
 )
+from repro.obs.timing import Stopwatch
 
 
 @dataclass(frozen=True)
@@ -231,11 +231,11 @@ def table5(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
         graph = index.graph
         queries = generate_queries(graph, prof.opt_queries, prof.query_size, prof.seed)
         star = _per_1000(
-            time_calls(lambda q: index.steiner_connectivity(q, "star"), queries),
+            time_calls(lambda q: index.steiner_connectivity(q, method="star"), queries),
             len(queries),
         ) * 1000.0
         walk = _per_1000(
-            time_calls(lambda q: index.steiner_connectivity(q, "walk"), queries),
+            time_calls(lambda q: index.steiner_connectivity(q, method="walk"), queries),
             len(queries),
         ) * 1000.0
         bl_q = queries[: prof.baseline_queries]
@@ -262,11 +262,11 @@ def figure6(profile="quick", datasets: Sequence[str] = ("D3", "SSCA2", "DEEP")) 
         for size in QUERY_SIZES:
             queries = generate_queries(index.graph, prof.opt_queries, size, prof.seed)
             star = _per_1000(
-                time_calls(lambda q: index.steiner_connectivity(q, "star"), queries),
+                time_calls(lambda q: index.steiner_connectivity(q, method="star"), queries),
                 len(queries),
             ) * 1000.0
             walk = _per_1000(
-                time_calls(lambda q: index.steiner_connectivity(q, "walk"), queries),
+                time_calls(lambda q: index.steiner_connectivity(q, method="walk"), queries),
                 len(queries),
             ) * 1000.0
             table.add_row(name, size, star, walk)
@@ -285,11 +285,11 @@ def table10(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
         index = prepared_index(name, prof.scale, prof.seed)
         queries = generate_queries(index.graph, prof.opt_queries, prof.query_size, prof.seed)
         star = _per_1000(
-            time_calls(lambda q: index.steiner_connectivity(q, "star"), queries),
+            time_calls(lambda q: index.steiner_connectivity(q, method="star"), queries),
             len(queries),
         ) * 1000.0
         walk = _per_1000(
-            time_calls(lambda q: index.steiner_connectivity(q, "walk"), queries),
+            time_calls(lambda q: index.steiner_connectivity(q, method="walk"), queries),
             len(queries),
         ) * 1000.0
         ref = paper.PAPER_TABLE10.get(name, {})
@@ -315,7 +315,8 @@ def table6(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
         bound = _size_bound(name, prof.scale, prof.seed)
         queries = generate_queries(graph, prof.opt_queries, prof.query_size, prof.seed)
         opt = _per_1000(
-            time_calls(lambda q: index.smcc_l(q, bound), queries), len(queries)
+            time_calls(lambda q: index.smcc_l(q, size_bound=bound), queries),
+            len(queries),
         )
         bl_q = queries[: prof.baseline_queries]
         bl = _per_1000(
@@ -342,7 +343,8 @@ def table11(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
         bound = _size_bound(name, prof.scale, prof.seed)
         queries = generate_queries(index.graph, prof.opt_queries, prof.query_size, prof.seed)
         opt = _per_1000(
-            time_calls(lambda q: index.smcc_l(q, bound), queries), len(queries)
+            time_calls(lambda q: index.smcc_l(q, size_bound=bound), queries),
+            len(queries),
         )
         table.add_row(name, bound, opt, paper.PAPER_TABLE11.get(name))
     return table
@@ -363,12 +365,11 @@ def table7(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
     for name in datasets:
         graph = get_dataset(name, prof.scale, prof.seed)
         t_batch = time_once(conn_graph_batch, graph.copy())
-        start = time.perf_counter()
+        watch = Stopwatch()
         conn = conn_graph_sharing(graph)
-        t_share = time.perf_counter() - start
-        start = time.perf_counter()
+        t_share = watch.lap()
         mst = build_mst(conn)
-        t_mst = time.perf_counter() - start
+        t_mst = watch.lap()
         t_star = time_once(build_mst_star, mst)
         ref = paper.PAPER_TABLE7.get(name, {})
         table.add_row(
@@ -416,19 +417,19 @@ def table9(profile="quick", datasets: Optional[Sequence[str]] = None) -> Table:
     for name in datasets:
         base_graph = get_dataset(name, prof.scale, prof.seed)
         graph = base_graph.copy()
-        start = time.perf_counter()
+        watch = Stopwatch()
         conn = conn_graph_sharing(graph)
         mst = build_mst(conn)
-        rebuild_ms = (time.perf_counter() - start) * 1000.0
+        rebuild_ms = watch.lap() * 1000.0
         maintainer = IndexMaintainer(conn, mst)
         ops = generate_update_workload(graph, 20, 20, prof.seed)
-        start = time.perf_counter()
+        watch.lap()
         for op, u, v in ops:
             if op == "delete":
                 maintainer.delete_edge(u, v)
             else:
                 maintainer.insert_edge(u, v)
-        elapsed = time.perf_counter() - start
+        elapsed = watch.lap()
         avg_ms = elapsed / max(len(ops), 1) * 1000.0
         table.add_row(name, len(ops), avg_ms, rebuild_ms, ratio(rebuild_ms, avg_ms))
     return table
@@ -491,13 +492,13 @@ def ablations(profile="quick", dataset: str = "SSCA1") -> Table:
         tree = build_mst(conn)
         maintainer = maintainer_cls(conn, tree)
         ops = generate_update_workload(work, 10, 10, prof.seed)
-        start = time.perf_counter()
+        watch = Stopwatch()
         for op, u, v in ops:
             if op == "delete":
                 maintainer.delete_edge(u, v)
             else:
                 maintainer.insert_edge(u, v)
-        return (time.perf_counter() - start) / max(len(ops), 1) * 1e6
+        return watch.lap() / max(len(ops), 1) * 1e6
 
     opt = run_updates(IndexMaintainer)
     abl = run_updates(NoContractionMaintainer)

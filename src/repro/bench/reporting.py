@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.timing import monotonic
 
 
 class Table:
@@ -69,21 +70,21 @@ def time_calls(fn: Callable, inputs: Iterable, repeat: int = 1) -> float:
     unless it is a tuple, which is unpacked.
     """
     items = list(inputs)
-    start = time.perf_counter()
+    start = monotonic()
     for _ in range(repeat):
         for item in items:
             if isinstance(item, tuple):
                 fn(*item)
             else:
                 fn(item)
-    return (time.perf_counter() - start) / max(repeat, 1)
+    return (monotonic() - start) / max(repeat, 1)
 
 
 def time_once(fn: Callable, *args, **kwargs) -> float:
     """Wall-clock seconds of a single call (result discarded)."""
-    start = time.perf_counter()
+    start = monotonic()
     fn(*args, **kwargs)
-    return time.perf_counter() - start
+    return monotonic() - start
 
 
 def per_query_us(total_seconds: float, count: int) -> Optional[float]:

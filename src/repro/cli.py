@@ -7,6 +7,8 @@ generate  write a synthetic graph (power-law / ssca / gnm) as an edge list
 build     build the SMCC index for an edge-list graph and save it
 query     run smcc / sc / smcc-l queries against a saved index
 update    apply edge insertions/deletions to a saved index
+verify    integrity-check a saved index (fsck)
+obs       run a workload with observability on; dump the metrics registry
 bench     run the paper-evaluation harness experiments
 
 Examples
@@ -14,23 +16,27 @@ Examples
     python -m repro generate ssca -n 2000 -o graph.txt
     python -m repro build graph.txt -o index_dir
     python -m repro query index_dir --sc 1 2 3
-    python -m repro query index_dir --smcc 1 2 3
+    python -m repro query index_dir --smcc 1 2 3 --profile
     python -m repro query index_dir --smcc-l 1 2 3 --size-bound 50
     python -m repro update index_dir --insert 5 99 --delete 1 2
+    python -m repro obs index_dir --queries 100 --format prometheus
     python -m repro bench table3 figure5
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import List, Optional, Sequence
 
 from repro import SMCCIndex
 from repro.errors import ReproError
 from repro.graph.generators import gnm_random_graph, power_law_graph, ssca_graph
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.obs import runtime as obs_runtime
+from repro.obs.stats import collect
+from repro.obs.timing import Stopwatch
 
 
 def _cmd_stats(args) -> int:
@@ -67,9 +73,9 @@ def _cmd_build(args) -> int:
     graph = read_edge_list(args.graph, relabel=args.relabel)
     print(f"building index for {graph.num_vertices} vertices, "
           f"{graph.num_edges} edges ...")
-    start = time.perf_counter()
+    watch = Stopwatch()
     index = SMCCIndex.build(graph, method=args.method, engine=args.engine)
-    elapsed = time.perf_counter() - start
+    elapsed = watch.lap()
     index.save(args.output)
     print(f"built in {elapsed:.2f}s; saved to {args.output}")
     return 0
@@ -80,6 +86,8 @@ def _parse_query(values: Sequence[str]) -> List[int]:
 
 
 def _cmd_query(args) -> int:
+    if args.profile:
+        return _cmd_query_profiled(args)
     index = SMCCIndex.load(args.index)
     ran = False
     if args.sc is not None:
@@ -95,7 +103,7 @@ def _cmd_query(args) -> int:
         ran = True
     if args.smcc_l is not None:
         q = _parse_query(args.smcc_l)
-        result = index.smcc_l(q, args.size_bound)
+        result = index.smcc_l(q, size_bound=args.size_bound)
         print(f"SMCC_L({q}, L={args.size_bound}): {len(result)} vertices, "
               f"connectivity {result.connectivity}")
         print(" ".join(map(str, sorted(result.vertices))))
@@ -104,6 +112,72 @@ def _cmd_query(args) -> int:
         print("nothing to do: pass --sc, --smcc, or --smcc-l", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_query_profiled(args) -> int:
+    """``query --profile``: run the queries and emit one JSON document.
+
+    The document carries, per query, the result summary and the
+    :class:`~repro.obs.stats.QueryStats` work counters, plus the nested
+    span trees and the full metrics snapshot of the run (index load
+    included).
+    """
+    previous = obs_runtime.REGISTRY
+    registry = obs_runtime.enable()
+    try:
+        index = SMCCIndex.load(args.index)
+        records = []
+        if args.sc is not None:
+            q = _parse_query(args.sc)
+            with collect() as stats:
+                value = index.steiner_connectivity(q)
+            stats.query_size = len(q)
+            records.append(
+                {"kind": "sc", "q": q, "result": value, "stats": stats.as_dict()}
+            )
+        if args.smcc is not None:
+            q = _parse_query(args.smcc)
+            result = index.smcc(q)
+            records.append({
+                "kind": "smcc",
+                "q": q,
+                "result": {
+                    "size": len(result),
+                    "connectivity": result.connectivity,
+                    "vertices": sorted(result.vertices),
+                },
+                "stats": result.query_stats.as_dict() if result.query_stats else None,
+            })
+        if args.smcc_l is not None:
+            q = _parse_query(args.smcc_l)
+            result = index.smcc_l(q, size_bound=args.size_bound)
+            records.append({
+                "kind": "smcc_l",
+                "q": q,
+                "size_bound": args.size_bound,
+                "result": {
+                    "size": len(result),
+                    "connectivity": result.connectivity,
+                    "vertices": sorted(result.vertices),
+                },
+                "stats": result.query_stats.as_dict() if result.query_stats else None,
+            })
+        if not records:
+            print("nothing to do: pass --sc, --smcc, or --smcc-l", file=sys.stderr)
+            return 2
+        snapshot = registry.snapshot()
+        print(json.dumps(
+            {
+                "index": args.index,
+                "queries": records,
+                "spans": snapshot.pop("spans"),
+                "metrics": snapshot,
+            },
+            indent=2,
+        ))
+        return 0
+    finally:
+        obs_runtime.REGISTRY = previous
 
 
 def _cmd_update(args) -> int:
@@ -124,13 +198,51 @@ def _cmd_update(args) -> int:
 
 def _cmd_verify(args) -> int:
     index = SMCCIndex.load(args.index)
-    index.verify(sample_pairs=args.samples)
+    report = index.verify(sample_pairs=args.samples)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
     print(
-        f"index OK: {index.num_vertices} vertices, {index.num_edges} edges, "
-        f"{index.mst.num_tree_edges()} tree edges, "
+        f"index OK: {report.num_vertices} vertices, {report.num_edges} edges, "
+        f"{report.num_components} components, "
         f"max connectivity {index.max_connectivity()}"
     )
+    print(
+        f"checked: {report.tree_edges_checked} tree edges, "
+        f"{report.non_tree_edges_checked} non-tree edges, "
+        f"{report.weights_checked} weights, "
+        f"{report.pairs_sampled} sampled sc pairs "
+        f"({report.elapsed_seconds:.3f}s)"
+    )
     return 0
+
+
+def _cmd_obs(args) -> int:
+    """Run a synthetic query workload with observability on; dump metrics."""
+    import random
+
+    from repro.obs.export import to_json, to_prometheus
+
+    previous = obs_runtime.REGISTRY
+    registry = obs_runtime.enable()
+    try:
+        index = SMCCIndex.load(args.index)
+        vertices = list(index.graph.vertices())
+        if not vertices:
+            print("error: empty graph", file=sys.stderr)
+            return 1
+        rng = random.Random(args.seed)
+        for _ in range(args.queries):
+            q = rng.sample(vertices, min(3, len(vertices)))
+            index.steiner_connectivity(q)
+            index.smcc(q)
+        if args.format == "prometheus":
+            print(to_prometheus(registry), end="")
+        else:
+            print(to_json(registry))
+        return 0
+    finally:
+        obs_runtime.REGISTRY = previous
 
 
 def _cmd_bench(args) -> int:
@@ -187,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smcc", nargs="+", metavar="V", help="SMCC query")
     p.add_argument("--smcc-l", nargs="+", metavar="V", help="SMCC_L query")
     p.add_argument("--size-bound", type=int, default=2, help="L for --smcc-l")
+    p.add_argument("--profile", action="store_true",
+                   help="emit per-query work counters, nested spans, and the "
+                        "metrics registry as one JSON document")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("update", help="apply edge updates to a saved index")
@@ -199,7 +314,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("index", help="index directory")
     p.add_argument("--samples", type=int, default=64,
                    help="random sc pairs to recompute from scratch")
+    p.add_argument("--json", action="store_true",
+                   help="emit the VerifyReport as JSON")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "obs",
+        help="run a synthetic workload with observability on; dump metrics",
+    )
+    p.add_argument("index", help="index directory")
+    p.add_argument("--queries", type=int, default=100,
+                   help="number of sc+smcc query pairs to run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=["json", "prometheus"], default="json")
+    p.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser("bench", help="run paper-evaluation experiments")
     p.add_argument("experiments", nargs="*", help="e.g. table3 figure5 (default: all)")

@@ -7,7 +7,7 @@ from repro.core.extensions import (
     steiner_connectivity_with_size,
     subset_smcc,
 )
-from repro.core.queries import SMCCIndex, SMCCResult
+from repro.core.queries import SMCCIndex, SMCCInterval, SMCCResult, VerifyReport
 from repro.core.smcc import smcc_opt
 from repro.core.smcc_l import smcc_l_opt
 from repro.core.steiner_connectivity import sc_mst, sc_opt
@@ -15,6 +15,8 @@ from repro.core.steiner_connectivity import sc_mst, sc_opt
 __all__ = [
     "SMCCIndex",
     "SMCCResult",
+    "SMCCInterval",
+    "VerifyReport",
     "smcc_opt",
     "smcc_l_opt",
     "sc_mst",

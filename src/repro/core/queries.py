@@ -20,8 +20,9 @@ on the next sc query.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.extensions import (
     smcc_cover,
@@ -35,8 +36,38 @@ from repro.index.connectivity_graph import ConnectivityGraph, build_connectivity
 from repro.index.maintenance import IndexMaintainer
 from repro.index.mst import MSTIndex, build_mst
 from repro.index.mst_star import MSTStar, build_mst_star
+from repro.obs import runtime as _obs
+from repro.obs.spans import span
+from repro.obs.stats import QueryStats, profiled_query
+from repro.obs.timing import monotonic
 
 PathLike = Union[str, os.PathLike]
+
+
+def _positional_shim(
+    method: str, names: Tuple[str, ...], args: Tuple, stacklevel: int = 3
+) -> Dict[str, object]:
+    """Map deprecated positional option arguments onto their keywords.
+
+    The option arguments of the :class:`SMCCIndex` surface are
+    keyword-only as of this release; positional callers get one release
+    of grace with a :class:`DeprecationWarning` before the shim is
+    removed.
+    """
+    if len(args) > len(names):
+        raise TypeError(
+            f"{method}() takes at most {len(names)} option argument(s) "
+            f"({len(args)} given)"
+        )
+    mapped = dict(zip(names, args))
+    warnings.warn(
+        f"passing {'/'.join(sorted(mapped))} positionally to {method}() is "
+        "deprecated and will become an error in a future release; "
+        "pass keyword arguments instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return mapped
 
 
 @dataclass(frozen=True)
@@ -50,10 +81,14 @@ class SMCCResult:
     connectivity:
         The edge connectivity of the component (= sc of the query for
         plain SMCC queries).
+    query_stats:
+        Work counters for the query that produced this result, when
+        profiling was active (``None`` otherwise).
     """
 
     vertices: List[int]
     connectivity: int
+    query_stats: Optional[QueryStats] = field(default=None, repr=False, compare=False)
     _vertex_set: frozenset = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -86,6 +121,7 @@ class SMCCInterval:
     connectivity: int
     start: int
     end: int
+    query_stats: Optional[QueryStats] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return self.end - self.start
@@ -98,6 +134,42 @@ class SMCCInterval:
     @property
     def vertices(self) -> List[int]:
         return self._star.leaf_order[self.start:self.end]
+
+
+@dataclass(frozen=True)
+class VerifyReport:
+    """Structured outcome of :meth:`SMCCIndex.verify`.
+
+    Failures raise :class:`~repro.errors.IndexStateError`, so a report
+    always describes a *passing* check; the counters say how much
+    evidence that pass rests on.
+    """
+
+    num_vertices: int
+    num_edges: int
+    num_components: int
+    tree_edges_checked: int
+    non_tree_edges_checked: int
+    weights_checked: int
+    pairs_sampled: int
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_components": self.num_components,
+            "tree_edges_checked": self.tree_edges_checked,
+            "non_tree_edges_checked": self.non_tree_edges_checked,
+            "weights_checked": self.weights_checked,
+            "pairs_sampled": self.pairs_sampled,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
 
 
 class SMCCIndex:
@@ -113,6 +185,7 @@ class SMCCIndex:
         self.conn_graph = conn_graph
         self.mst = mst
         self._mst_star = mst_star
+        self._engine = engine
         self._maintainer = IndexMaintainer(conn_graph, mst, engine=engine)
 
     # ------------------------------------------------------------------
@@ -120,6 +193,7 @@ class SMCCIndex:
     def build(
         cls,
         graph: Graph,
+        *args,
         method: str = "sharing",
         engine: str = "exact",
         with_star: bool = True,
@@ -131,11 +205,30 @@ class SMCCIndex:
         (``"sharing"`` = ConnGraph-BS, ``"batch"`` = ConnGraph-B);
         ``engine`` picks the KECC engine (``"exact"``, ``"random"``,
         ``"cut"``).  With ``with_star=False`` the MST* structure is
-        built lazily on the first sc query.
+        built lazily on the first sc query.  Options are keyword-only.
         """
-        conn = build_connectivity_graph(graph, method=method, engine=engine, **engine_kwargs)
-        mst = build_mst(conn)
-        star = build_mst_star(mst) if with_star else None
+        if args:
+            overrides = _positional_shim(
+                "SMCCIndex.build", ("method", "engine", "with_star"), args
+            )
+            method = overrides.get("method", method)
+            engine = overrides.get("engine", engine)
+            with_star = overrides.get("with_star", with_star)
+        with span("index.build") as build_span:
+            with span("index.build.connectivity_graph"):
+                conn = build_connectivity_graph(
+                    graph, method=method, engine=engine, **engine_kwargs
+                )
+            with span("index.build.mst"):
+                mst = build_mst(conn)
+            star = None
+            if with_star:
+                with span("index.build.mst_star"):
+                    star = build_mst_star(mst)
+            build_span.set("n", graph.num_vertices)
+            build_span.set("m", graph.num_edges)
+            build_span.set("method", method)
+            build_span.set("engine", engine)
         return cls(conn, mst, star, engine=engine)
 
     # ------------------------------------------------------------------
@@ -161,18 +254,32 @@ class SMCCIndex:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def steiner_connectivity(self, q: Sequence[int], method: str = "star") -> int:
+    def steiner_connectivity(self, q: Sequence[int], *args, method: str = "star") -> int:
         """``sc(q)``: O(|q|) with ``method="star"``, O(|T_q|) with ``"walk"``."""
+        if args:
+            method = _positional_shim(
+                "SMCCIndex.steiner_connectivity", ("method",), args
+            ).get("method", method)
         if method == "star":
-            return self.mst_star.steiner_connectivity(q)
+            if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+                return self.mst_star.steiner_connectivity(q)
+            with profiled_query("sc", query_size=len(q)), span("query.sc"):
+                return self.mst_star.steiner_connectivity(q)
         if method == "walk":
-            return self.mst.steiner_connectivity(q)
+            if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+                return self.mst.steiner_connectivity(q)
+            with profiled_query("sc_walk", query_size=len(q)), span("query.sc_walk"):
+                return self.mst.steiner_connectivity(q)
         raise ValueError(f"unknown method {method!r}; use 'star' or 'walk'")
 
     def smcc(self, q: Sequence[int]) -> SMCCResult:
         """The SMCC of ``q`` (Algorithm 4), O(result) time."""
-        vertices, sc = smcc_opt(self.mst, q, self.mst_star)
-        return SMCCResult(vertices, sc)
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            vertices, sc = smcc_opt(self.mst, q, self.mst_star)
+            return SMCCResult(vertices, sc)
+        with profiled_query("smcc", query_size=len(q)) as stats, span("query.smcc"):
+            vertices, sc = smcc_opt(self.mst, q, self.mst_star)
+        return SMCCResult(vertices, sc, query_stats=stats)
 
     def smcc_interval(self, q: Sequence[int]) -> "SMCCInterval":
         """The SMCC of ``q`` as an O(|q| + log |V|) interval descriptor.
@@ -183,41 +290,100 @@ class SMCCIndex:
         available without enumerating its vertices; materialize them
         lazily via :attr:`SMCCInterval.vertices`.
         """
-        sc, start, end = self.mst_star.smcc_interval(q)
-        return SMCCInterval(self.mst_star, sc, start, end)
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            sc, start, end = self.mst_star.smcc_interval(q)
+            return SMCCInterval(self.mst_star, sc, start, end)
+        with profiled_query("smcc_interval", query_size=len(q)) as stats, span(
+            "query.smcc_interval"
+        ):
+            sc, start, end = self.mst_star.smcc_interval(q)
+        return SMCCInterval(self.mst_star, sc, start, end, query_stats=stats)
 
-    def smcc_l(self, q: Sequence[int], size_bound: int) -> SMCCResult:
+    def smcc_l(self, q: Sequence[int], *args, size_bound: Optional[int] = None) -> SMCCResult:
         """The SMCC_L of ``q`` (Algorithm 5), O(result) time."""
-        vertices, k = smcc_l_opt(self.mst, q, size_bound)
-        return SMCCResult(vertices, k)
+        size_bound = self._required_option(
+            "SMCCIndex.smcc_l", "size_bound", size_bound, args
+        )
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            vertices, k = smcc_l_opt(self.mst, q, size_bound)
+            return SMCCResult(vertices, k)
+        with profiled_query("smcc_l", query_size=len(q)) as stats, span("query.smcc_l"):
+            vertices, k = smcc_l_opt(self.mst, q, size_bound)
+        return SMCCResult(vertices, k, query_stats=stats)
 
-    def steiner_connectivity_with_size(self, q: Sequence[int], size_bound: int) -> int:
+    def steiner_connectivity_with_size(
+        self, q: Sequence[int], *args, size_bound: Optional[int] = None
+    ) -> int:
         """Connectivity of the SMCC_L (Section 7)."""
-        return steiner_connectivity_with_size(self.mst, q, size_bound)
+        size_bound = self._required_option(
+            "SMCCIndex.steiner_connectivity_with_size", "size_bound", size_bound, args
+        )
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            return steiner_connectivity_with_size(self.mst, q, size_bound)
+        with profiled_query("sc_with_size", query_size=len(q)), span("query.sc_with_size"):
+            return steiner_connectivity_with_size(self.mst, q, size_bound)
 
-    def subset_smcc(self, q: Sequence[int], cover_bound: int) -> SMCCResult:
+    def subset_smcc(
+        self, q: Sequence[int], *args, cover_bound: Optional[int] = None
+    ) -> SMCCResult:
         """Max-connectivity component containing >= ``cover_bound`` of ``q``."""
-        vertices, k = subset_smcc(self.mst, q, cover_bound)
-        return SMCCResult(vertices, k)
+        cover_bound = self._required_option(
+            "SMCCIndex.subset_smcc", "cover_bound", cover_bound, args
+        )
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            vertices, k = subset_smcc(self.mst, q, cover_bound)
+            return SMCCResult(vertices, k)
+        with profiled_query("subset_smcc", query_size=len(q)) as stats, span(
+            "query.subset_smcc"
+        ):
+            vertices, k = subset_smcc(self.mst, q, cover_bound)
+        return SMCCResult(vertices, k, query_stats=stats)
 
-    def smcc_cover(self, q: Sequence[int], num_components: int) -> List[SMCCResult]:
+    def smcc_cover(
+        self, q: Sequence[int], *args, num_components: Optional[int] = None
+    ) -> List[SMCCResult]:
         """``num_components`` components jointly covering ``q`` (Section 7)."""
-        return [
-            SMCCResult(vertices, k)
-            for vertices, k in smcc_cover(self.mst, q, num_components)
-        ]
+        num_components = self._required_option(
+            "SMCCIndex.smcc_cover", "num_components", num_components, args
+        )
+        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            return [
+                SMCCResult(vertices, k)
+                for vertices, k in smcc_cover(self.mst, q, num_components)
+            ]
+        with profiled_query("smcc_cover", query_size=len(q)) as stats, span(
+            "query.smcc_cover"
+        ):
+            pieces = smcc_cover(self.mst, q, num_components)
+        return [SMCCResult(vertices, k, query_stats=stats) for vertices, k in pieces]
+
+    @staticmethod
+    def _required_option(method: str, name: str, value, args: Tuple):
+        """Resolve a required keyword-only option, honouring the shim."""
+        if args:
+            # One extra frame (this helper) between the caller and the warn.
+            override = _positional_shim(method, (name,), args, stacklevel=4)
+            if value is not None:
+                raise TypeError(f"{method}() got multiple values for argument {name!r}")
+            value = override.get(name)
+        if value is None:
+            raise TypeError(f"{method}() missing required keyword-only argument: {name!r}")
+        return value
 
     def sc_pair(self, u: int, v: int) -> int:
         """Steiner-connectivity of a vertex pair in O(1)."""
         return self.mst_star.sc_pair(u, v)
 
-    def sc_pairs_batch(self, us, vs):
-        """Vectorized ``sc(u, v)`` for arrays of pairs (numpy, fast).
+    def sc_pairs_batch(self, us: Sequence[int], vs: Sequence[int]) -> List[int]:
+        """Vectorized ``sc(u, v)`` for arrays of pairs (numpy inside).
 
         Cross-component pairs yield 0 (instead of raising), making the
         method suitable for bulk analytics like similarity matrices.
+        Returns a plain ``list[int]`` to keep the facade's return types
+        numpy-free; use :meth:`MSTStar.sc_pairs_batch` directly when an
+        ndarray is wanted.
         """
-        return self.mst_star.sc_pairs_batch(us, vs)
+        return self.mst_star.sc_pairs_batch(us, vs).tolist()
 
     def to_scipy_linkage(self):
         """The connectivity dendrogram as a SciPy ``linkage`` matrix.
@@ -293,7 +459,7 @@ class SMCCIndex:
     # ------------------------------------------------------------------
     # Integrity checking
     # ------------------------------------------------------------------
-    def verify(self, sample_pairs: int = 64, seed: int = 0) -> None:
+    def verify(self, *args, sample_pairs: int = 64, seed: int = 0) -> "VerifyReport":
         """Self-check the index; raises :class:`IndexStateError` on damage.
 
         Validates, in order: graph ↔ connectivity-graph synchronization,
@@ -302,12 +468,22 @@ class SMCCIndex:
         importantly — a random sample of pairwise steiner-connectivities
         recomputed from scratch with the exact KECC engine.  Intended as
         the equivalent of a filesystem ``fsck`` after loading a
-        persisted index or applying a long update sequence.
+        persisted index or applying a long update sequence.  Returns a
+        :class:`VerifyReport` summarizing the evidence checked.
         """
+        if args:
+            overrides = _positional_shim(
+                "SMCCIndex.verify", ("sample_pairs", "seed"), args
+            )
+            sample_pairs = overrides.get("sample_pairs", sample_pairs)
+            seed = overrides.get("seed", seed)
         import random as _random
 
         from repro.errors import IndexStateError
 
+        started = monotonic()
+        weights_checked = 0
+        pairs_sampled = 0
         try:
             self.conn_graph.validate()
         except Exception as exc:
@@ -322,10 +498,14 @@ class SMCCIndex:
                 f"{n} vertices in {components} components"
             )
         # Every tree/NT edge must exist in the graph with matching weight.
+        tree_edges_checked = 0
+        non_tree_edges_checked = 0
         for u, v, w in mst.tree_edges():
+            tree_edges_checked += 1
             if self.conn_graph.weight(u, v) != w:
                 raise IndexStateError(f"tree edge ({u},{v}) weight mismatch")
         for u, v, w in mst.non_tree.iter_non_increasing():
+            non_tree_edges_checked += 1
             if self.conn_graph.weight(u, v) != w:
                 raise IndexStateError(f"NT edge ({u},{v}) weight mismatch")
             path = mst.tree_path(u, v)
@@ -348,6 +528,7 @@ class SMCCIndex:
             fresh = conn_graph_sharing(self.graph.copy())
             fresh_mst_weights = fresh.weights_dict()
             for (u, v), w in self.conn_graph.weights_dict().items():
+                weights_checked += 1
                 if fresh_mst_weights.get((u, v)) != w:
                     raise IndexStateError(
                         f"sc({u},{v}) stored as {w}, recomputed "
@@ -360,6 +541,7 @@ class SMCCIndex:
             fresh_tree = build_mst(fresh)
             for _ in range(sample_pairs):
                 u, v = rng.sample(range(n), 2)
+                pairs_sampled += 1
                 try:
                     stored = self.mst.steiner_connectivity([u, v])
                 except DisconnectedQueryError:
@@ -372,6 +554,16 @@ class SMCCIndex:
                     raise IndexStateError(
                         f"sampled sc({u},{v}) = {stored}, recomputed {recomputed}"
                     )
+        return VerifyReport(
+            num_vertices=n,
+            num_edges=self.num_edges,
+            num_components=components,
+            tree_edges_checked=tree_edges_checked,
+            non_tree_edges_checked=non_tree_edges_checked,
+            weights_checked=weights_checked,
+            pairs_sampled=pairs_sampled,
+            elapsed_seconds=monotonic() - started,
+        )
 
     # ------------------------------------------------------------------
     # Persistence
@@ -385,16 +577,23 @@ class SMCCIndex:
         save_mst(self.mst, os.path.join(directory, "mst.npz"))
 
     @classmethod
-    def load(cls, directory: PathLike, engine: str = "exact") -> "SMCCIndex":
+    def load(cls, directory: PathLike, *args, engine: str = "exact") -> "SMCCIndex":
         """Load an index saved by :meth:`save`."""
+        if args:
+            engine = _positional_shim("SMCCIndex.load", ("engine",), args).get(
+                "engine", engine
+            )
         from repro.index.persistence import load_connectivity_graph, load_mst
 
-        conn = load_connectivity_graph(os.path.join(directory, "conn_graph.npz"))
-        mst = load_mst(os.path.join(directory, "mst.npz"))
+        with span("index.load"):
+            conn = load_connectivity_graph(os.path.join(directory, "conn_graph.npz"))
+            mst = load_mst(os.path.join(directory, "mst.npz"))
         return cls(conn, mst, engine=engine)
 
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
+    def __repr__(self) -> str:
+        star = "built" if self._mst_star is not None else "stale"
         return (
             f"SMCCIndex(n={self.num_vertices}, m={self.num_edges}, "
-            f"tree_edges={self.mst.num_tree_edges()})"
+            f"tree_edges={self.mst.num_tree_edges()}, "
+            f"mst_star={star}, engine={self._engine!r})"
         )

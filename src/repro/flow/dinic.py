@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 from repro.analysis.contracts import invariant, invariants_enabled
 from repro.analysis.lemmas import dinic_flow_conserved
 from repro.graph.graph import Graph
+from repro.obs import runtime as _obs
 
 
 class Dinic:
@@ -59,8 +60,11 @@ class Dinic:
         flow = 0
         to, cap, head = self._to, self._cap, self._head
         n = self.n
+        bfs_rounds = 0
+        augmentations = 0
         while flow < limit:
             # BFS level graph.
+            bfs_rounds += 1
             level = [-1] * n
             level[source] = 0
             queue = deque((source,))
@@ -79,7 +83,12 @@ class Dinic:
                 pushed = self._dfs_push(source, sink, limit - flow, level, it)
                 if pushed == 0:
                     break
+                augmentations += 1
                 flow += pushed
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.flow_bfs_rounds += bfs_rounds
+            stats.flow_augmentations += augmentations
         if self._flow_history is not None:
             self._flow_history.append((source, sink, flow))
         invariant(

@@ -24,6 +24,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import EdgeNotFoundError, GraphError
 from repro.graph.graph import Graph, edge_key
 from repro.kecc import get_engine
+from repro.obs import runtime as _obs
+from repro.obs.spans import span
 
 Edge = Tuple[int, int]
 
@@ -142,15 +144,21 @@ def conn_graph_batch(
     k = 1
     while True:
         k += 1
-        groups = kecc(n, edges, k, **engine_kwargs)
-        owner = _owner_map(groups)
-        assigned = 0
-        for u, v in edges:
-            if owner[u] == owner[v]:
-                sc[(u, v)] = k
-                assigned += 1
+        with span("conn_graph.batch.round") as sp:
+            groups = kecc(n, edges, k, **engine_kwargs)
+            owner = _owner_map(groups)
+            assigned = 0
+            for u, v in edges:
+                if owner[u] == owner[v]:
+                    sc[(u, v)] = k
+                    assigned += 1
+            sp.set("k", k)
+            sp.set("edges_assigned", assigned)
         if assigned == 0:
             break
+    registry = _obs.REGISTRY
+    if registry is not None:
+        registry.counter("conn_graph.batch.rounds").inc(k - 1)
     return ConnectivityGraph(graph, sc)
 
 
@@ -170,27 +178,33 @@ def conn_graph_sharing(
     k = 1
     while pieces:
         k += 1
-        next_pieces: List[Tuple[List[int], List[Edge]]] = []
-        for vertices, piece_edges in pieces:
-            index = {v: i for i, v in enumerate(vertices)}
-            local_edges = [(index[u], index[v]) for u, v in piece_edges]
-            groups = kecc(len(vertices), local_edges, k, **engine_kwargs)
-            owner = _owner_map(groups)
-            edges_by_group: Dict[int, List[Edge]] = {}
-            for (u, v), (lu, lv) in zip(piece_edges, local_edges):
-                if owner[lu] != owner[lv]:
-                    # Removed while computing k-eccs of a (k-1)-edge
-                    # connected graph: sc is exactly k - 1 (Lemma 5.1).
-                    sc[edge_key(u, v)] = k - 1
-                else:
-                    edges_by_group.setdefault(owner[lu], []).append((u, v))
-            for group in groups:
-                if len(group) < 2:
-                    continue
-                kept = edges_by_group.get(owner[group[0]], [])
-                if kept:
-                    next_pieces.append(([vertices[i] for i in group], kept))
-        pieces = next_pieces
+        with span("conn_graph.sharing.round") as round_span:
+            round_span.set("k", k)
+            round_span.set("pieces", len(pieces))
+            next_pieces: List[Tuple[List[int], List[Edge]]] = []
+            for vertices, piece_edges in pieces:
+                index = {v: i for i, v in enumerate(vertices)}
+                local_edges = [(index[u], index[v]) for u, v in piece_edges]
+                groups = kecc(len(vertices), local_edges, k, **engine_kwargs)
+                owner = _owner_map(groups)
+                edges_by_group: Dict[int, List[Edge]] = {}
+                for (u, v), (lu, lv) in zip(piece_edges, local_edges):
+                    if owner[lu] != owner[lv]:
+                        # Removed while computing k-eccs of a (k-1)-edge
+                        # connected graph: sc is exactly k - 1 (Lemma 5.1).
+                        sc[edge_key(u, v)] = k - 1
+                    else:
+                        edges_by_group.setdefault(owner[lu], []).append((u, v))
+                for group in groups:
+                    if len(group) < 2:
+                        continue
+                    kept = edges_by_group.get(owner[group[0]], [])
+                    if kept:
+                        next_pieces.append(([vertices[i] for i in group], kept))
+            pieces = next_pieces
+    registry = _obs.REGISTRY
+    if registry is not None:
+        registry.counter("conn_graph.sharing.rounds").inc(k - 1)
     conn = ConnectivityGraph(graph, sc)
     conn.validate()
     return conn

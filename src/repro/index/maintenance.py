@@ -28,6 +28,8 @@ from repro.graph.graph import edge_key
 from repro.index.connectivity_graph import ConnectivityGraph
 from repro.index.mst import MSTIndex
 from repro.kecc import get_engine
+from repro.obs import runtime as _obs
+from repro.obs.spans import span
 
 Edge = Tuple[int, int]
 
@@ -70,15 +72,21 @@ class IndexMaintainer:
         graph = self.conn.graph
         if not graph.has_edge(u, v):
             raise GraphError(f"cannot delete missing edge ({u}, {v})")
-        k_uv = self.conn.weight(u, v)
-        # g_{u,v}: the SMCC of {u, v} = k_uv-ecc containing them (Lemma 4.6).
-        component = self.mst.vertices_with_connectivity(u, k_uv)
-        self.conn.remove_edge(u, v)
-        self._mst_delete_edge(u, v)
+        with span("index.update.delete_edge") as sp:
+            k_uv = self.conn.weight(u, v)
+            # g_{u,v}: the SMCC of {u, v} = k_uv-ecc containing them (Lemma 4.6).
+            component = self.mst.vertices_with_connectivity(u, k_uv)
+            self.conn.remove_edge(u, v)
+            self._mst_delete_edge(u, v)
 
-        # Contract the (k+1)-eccs of g_{u,v}^- and recompute k-eccs.
-        demoted = self._recompute_after_delete(component, k_uv, (u, v))
-        self._apply_decrements(demoted, k_uv)
+            # Contract the (k+1)-eccs of g_{u,v}^- and recompute k-eccs.
+            demoted = self._recompute_after_delete(component, k_uv, (u, v))
+            self._apply_decrements(demoted, k_uv)
+            sp.set("affected_component", len(component))
+            sp.set("sc_changes", len(demoted))
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.sc_changes += len(demoted)
         return [(a, b, k_uv - 1) for a, b in demoted]
 
     def _apply_decrements(self, demoted: List[Edge], old_weight: int) -> None:
@@ -174,23 +182,32 @@ class IndexMaintainer:
             # no other edge can change (Lemma 5.4 with k_uv undefined/0).
             self.conn.add_edge(u, v, 1)
             self.mst.add_tree_edge(u, v, 1)
+            stats = _obs.ACTIVE_STATS
+            if stats is not None:
+                stats.sc_changes += 1
             return [(u, v, 1)]
 
-        k_uv = self.mst.steiner_connectivity([u, v])
-        component = self.mst.vertices_with_connectivity(u, k_uv)
-        self.conn.add_edge(u, v, k_uv)  # provisional weight, fixed below
+        with span("index.update.insert_edge") as sp:
+            k_uv = self.mst.steiner_connectivity([u, v])
+            component = self.mst.vertices_with_connectivity(u, k_uv)
+            self.conn.add_edge(u, v, k_uv)  # provisional weight, fixed below
 
-        promoted, new_edge_sc = self._recompute_after_insert(
-            component, k_uv, (u, v)
-        )
-        changes: List[Tuple[int, int, int]] = []
-        self.conn.set_weight(u, v, new_edge_sc)
-        self._mst_insert_edge(u, v, new_edge_sc)
-        changes.append((u, v, new_edge_sc))
-        for a, b in promoted:
-            self.conn.set_weight(a, b, k_uv + 1)
-            self._mst_increment_edge(a, b, k_uv)
-            changes.append((a, b, k_uv + 1))
+            promoted, new_edge_sc = self._recompute_after_insert(
+                component, k_uv, (u, v)
+            )
+            changes: List[Tuple[int, int, int]] = []
+            self.conn.set_weight(u, v, new_edge_sc)
+            self._mst_insert_edge(u, v, new_edge_sc)
+            changes.append((u, v, new_edge_sc))
+            for a, b in promoted:
+                self.conn.set_weight(a, b, k_uv + 1)
+                self._mst_increment_edge(a, b, k_uv)
+                changes.append((a, b, k_uv + 1))
+            sp.set("affected_component", len(component))
+            sp.set("sc_changes", len(changes))
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.sc_changes += len(changes)
         return changes
 
     def _recompute_after_insert(

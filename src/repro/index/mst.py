@@ -36,6 +36,7 @@ from repro.errors import (
     VertexNotFoundError,
 )
 from repro.index.connectivity_graph import ConnectivityGraph
+from repro.obs import runtime as _obs
 from repro.util.bucket_queue import EdgeBuckets, MaxBucketQueue
 from repro.util.disjoint_set import DisjointSet
 
@@ -113,8 +114,13 @@ class MSTIndex:
     # Derived structures
     # ------------------------------------------------------------------
     def _ensure_derived(self) -> None:
+        stats = _obs.ACTIVE_STATS
         if self._sorted_adj is not None and self._parent is not None:
+            if stats is not None:
+                stats.cache_hits += 1
             return
+        if stats is not None:
+            stats.cache_misses += 1
         n = self.n
         self._sorted_adj = [
             sorted(((w, v) for v, w in self.tree_adj[u].items()), reverse=True)
@@ -195,11 +201,13 @@ class MSTIndex:
         marks[q[0]] = epoch
         lca = q[0]
         min_weight: Optional[int] = None
+        edges_scanned = 0
         for target in q[1:]:
             if marks[target] == epoch:
                 continue
             u, v = lca, target
             while u != v:
+                edges_scanned += 1
                 if level[u] >= level[v]:
                     # u only ever climbs to ancestors of the current lca,
                     # which are necessarily unvisited.
@@ -222,6 +230,10 @@ class MSTIndex:
                 # Loop ended with u == v: that meeting point is lca_i.
                 marks[u] = epoch
                 lca = u
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.tree_edges_scanned += edges_scanned
+            stats.vertices_touched += edges_scanned + 1
         if min_weight is None:  # unreachable: |q| >= 2 in one component
             raise InternalInvariantError(
                 "LCA walk over a multi-vertex connected query used no edge"
@@ -271,6 +283,22 @@ class MSTIndex:
                     marks[v] = epoch
                     result.append(v)
                     queue.append(v)
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            # Replay the scans the BFS just performed (heavy entries plus
+            # the one light probe per vertex) so the hot loop stays clean.
+            stats.vertices_touched += len(result)
+            scanned = 0
+            for u in result:
+                adj = sorted_adj[u]  # type: ignore[index]
+                heavy = 0
+                for w, _ in adj:
+                    if w < k:
+                        heavy += 1  # the probe that stopped the scan
+                        break
+                    heavy += 1
+                scanned += heavy
+            stats.tree_edges_scanned += scanned
         return result
 
     # ------------------------------------------------------------------
@@ -310,9 +338,11 @@ class MSTIndex:
             queue.push(w, (v0, 0))
         k = 0  # lower bound on the connectivity of the SMCC_L; 0 = unset
         min_popped: Optional[int] = None
+        pops = 0
 
         while queue and queue.max_key() >= max(k, 1):
             weight, (u, cursor) = queue.pop_max()
+            pops += 1
             if min_popped is None or weight < min_popped:
                 min_popped = weight
             # Push u's next adjacency edge (line 6).
@@ -332,6 +362,11 @@ class MSTIndex:
                 # Line 11: k becomes the connectivity of the SMCC_L.
                 k = min_popped
 
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.queue_pops += pops
+            stats.tree_edges_scanned += pops
+            stats.vertices_touched += len(visited)
         if k == 0:
             if remaining_query == 0 and len(visited) >= size_bound:
                 # Only reachable when v0 is isolated and the bound is <= 1:

@@ -34,6 +34,7 @@ from repro.errors import (
 )
 from repro.index.lca import EulerTourLCA
 from repro.index.mst import MSTIndex
+from repro.obs import runtime as _obs
 from repro.util.disjoint_set import DisjointSetWithRoot
 
 
@@ -233,6 +234,10 @@ class MSTStar:
             raise DisconnectedQueryError(
                 f"vertices {u} and {v} are in different components"
             )
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.lca_calls += 1
+            stats.vertices_touched += 2
         return self.weights[node]
 
     def steiner_connectivity(self, q: Sequence[int]) -> int:
@@ -289,6 +294,10 @@ class MSTStar:
             raise InternalInvariantError(
                 "MST* LCA scan over a multi-vertex query produced no weight"
             )
+        stats = _obs.ACTIVE_STATS
+        if stats is not None:
+            stats.lca_calls += len(q) - 1
+            stats.vertices_touched += len(q)
         return best
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.contracts import invariant
 from repro.analysis.lemmas import is_partition
 from repro.kecc.mas import components_of, max_adjacency_order
+from repro.obs import runtime as _obs
 
 Edge = Tuple[int, int]
 
@@ -110,8 +111,10 @@ def _decompose(vertices: List[int], edges: List[Edge], k: int) -> List[List[int]
 
     pieces: List[List[int]] = []
     active_count = nv
+    rounds = 0
 
     while active_count > 0:
+        rounds += 1
         active = [r for r in range(nv) if alive[r]]
         for component in components_of(adj, active):
             order, weights = max_adjacency_order(adj, component[0])
@@ -155,6 +158,9 @@ def _decompose(vertices: List[int], edges: List[Edge], k: int) -> List[List[int]
         if active_count > 0:
             for r in active:
                 forward[r] = r
+    stats = _obs.ACTIVE_STATS
+    if stats is not None:
+        stats.kecc_rounds += rounds
     return pieces
 
 

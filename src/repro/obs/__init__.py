@@ -1,0 +1,54 @@
+"""Zero-dependency observability for the SMCC index (metrics + tracing).
+
+Three cooperating layers, all stdlib-only:
+
+- **Metrics** (:mod:`repro.obs.metrics`): a :class:`MetricsRegistry` of
+  named counters, gauges and log-scale histograms;
+- **Spans** (:mod:`repro.obs.spans`): nested ``with span("phase")``
+  timing contexts that build call trees and feed per-phase histograms;
+- **Query stats** (:mod:`repro.obs.stats`): per-query work counters
+  (vertices touched, tree edges scanned, LCA probes, augmentations...)
+  that let tests assert the paper's output-sensitive complexity bounds
+  empirically.
+
+Disabled by default: every hot-path hook is a module-attribute load
+plus an ``is None`` test, and :func:`span` returns a shared no-op
+singleton — no allocation on the fast path.  Enable per process with
+``REPRO_OBS=1`` in the environment, programmatically with
+:func:`enable`, or per scope with :func:`collect`.
+"""
+
+from __future__ import annotations
+
+from repro.obs import runtime
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import disable, enable, enabled, get_registry
+from repro.obs.spans import SpanRecord, current_span, span
+from repro.obs.stats import QueryStats, collect, profiled_query, profiling_active
+from repro.obs.timing import Stopwatch, monotonic
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryStats",
+    "SpanRecord",
+    "Stopwatch",
+    "collect",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "monotonic",
+    "profiled_query",
+    "profiling_active",
+    "span",
+    "to_json",
+    "to_prometheus",
+]
+
+# Honour REPRO_OBS=1 for any entry point that imports the package.
+runtime.init_from_env()

@@ -1,0 +1,61 @@
+"""Registry exporters: JSON documents and Prometheus-style text.
+
+Two serialisations of a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+- :func:`to_json` — the full snapshot (counters, gauges, histograms,
+  nested span trees) as a JSON string; what ``repro obs --format json``
+  and ``repro query --profile`` emit.
+- :func:`to_prometheus` — a flat text exposition in the Prometheus
+  style (``name{le="..."} value`` bucket lines, ``_count`` / ``_sum``
+  suffixes).  Metric names have dots replaced by underscores to satisfy
+  the Prometheus grammar.  There is no HTTP endpoint here — the text is
+  written to stdout or a file for scraping by external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["to_json", "to_prometheus"]
+
+
+def to_json(registry: MetricsRegistry, *, indent: int = 2) -> str:
+    """The registry snapshot serialised as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=False)
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus identifier grammar."""
+    return "".join(ch if (ch.isalnum() or ch == "_") else "_" for ch in name)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """A Prometheus-style text exposition of the registry.
+
+    Span trees are not representable in the flat exposition format;
+    their per-phase aggregate histograms (``span_<name>_seconds``) are,
+    which is what dashboards actually chart.
+    """
+    lines: List[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {counter.value}")
+    for name, gauge in sorted(registry.gauges.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {gauge.value:.9g}")
+    for name, hist in sorted(registry.histograms.items()):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in hist.bucket_bounds():
+            cumulative += count
+            lines.append(f'{prom}_bucket{{le="{bound:.9g}"}} {cumulative}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{prom}_count {hist.count}")
+        lines.append(f"{prom}_sum {hist.sum:.9g}")
+    return "\n".join(lines) + "\n"

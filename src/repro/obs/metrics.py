@@ -1,0 +1,200 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns named instruments:
+
+- :class:`Counter` — a monotonically increasing integer;
+- :class:`Gauge` — a point-in-time value (last write wins);
+- :class:`Histogram` — a log-scale (power-of-two bucket) distribution
+  with count / sum / min / max, suitable for latencies spanning many
+  orders of magnitude without pre-configured bucket boundaries.
+
+Instruments are created on first use and cached by name, so hot paths
+may call ``registry.counter("x").inc()`` without a lookup-or-create
+dance.  The registry also accumulates finished span trees (see
+:mod:`repro.obs.spans`) and per-query-kind aggregates fed by
+:meth:`MetricsRegistry.record_query`.
+
+Nothing here imports the rest of the library; the whole layer is plain
+stdlib so it can be wired into any hot path without dependency risk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanRecord
+    from repro.obs.stats import QueryStats
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value; ``set`` overwrites, ``add`` adjusts."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Log-scale histogram: bucket ``e`` counts values in ``(2^(e-1), 2^e]``.
+
+    Values are observed in *seconds* (or any unit); internally each
+    value is scaled to integer nanoseconds and bucketed by bit length,
+    giving ~60 possible buckets covering sub-nanosecond to years with
+    no configuration.  Only touched buckets are stored.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    #: scale factor from observed unit (seconds) to integer ticks (ns)
+    SCALE = 1_000_000_000
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        ticks = int(value * self.SCALE)
+        exponent = ticks.bit_length() if ticks > 0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    def mean(self) -> Optional[float]:
+        if self.count == 0:
+            return None
+        return self.sum / self.count
+
+    def bucket_bounds(self) -> List[Tuple[float, int]]:
+        """``(upper_bound_in_observed_units, count)`` per touched bucket."""
+        return [
+            ((1 << e) / self.SCALE if e > 0 else 0.0, c)
+            for e, c in sorted(self.buckets.items())
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean(),
+            "buckets": {f"{bound:.9g}": count for bound, count in self.bucket_bounds()},
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, sum={self.sum:.6g})"
+
+
+class MetricsRegistry:
+    """Named counters / gauges / histograms plus span and query records."""
+
+    #: finished root spans retained (oldest dropped first)
+    MAX_SPAN_ROOTS = 256
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: finished top-level span trees, in completion order
+        self.span_roots: List["SpanRecord"] = []
+        #: open spans (innermost last); managed by :mod:`repro.obs.spans`
+        self.span_stack: List["SpanRecord"] = []
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    def add_span_root(self, record: "SpanRecord") -> None:
+        self.span_roots.append(record)
+        if len(self.span_roots) > self.MAX_SPAN_ROOTS:
+            del self.span_roots[: len(self.span_roots) - self.MAX_SPAN_ROOTS]
+
+    def record_query(self, kind: str, stats: "QueryStats") -> None:
+        """Fold one finished :class:`QueryStats` into per-kind aggregates."""
+        prefix = f"query.{kind}"
+        self.counter(f"{prefix}.count").inc()
+        self.histogram(f"{prefix}.seconds").observe(stats.elapsed_seconds)
+        for field_name, value in stats.counter_items():
+            if value:
+                self.counter(f"{prefix}.{field_name}").inc(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view of everything the registry holds."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self.histograms.items())
+            },
+            "spans": [root.as_dict() for root in self.span_roots],
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument and span (tests, between bench runs)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.span_roots.clear()
+        self.span_stack.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, histograms={len(self.histograms)}, "
+            f"spans={len(self.span_roots)})"
+        )

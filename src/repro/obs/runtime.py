@@ -1,0 +1,81 @@
+"""Process-global observability state (the one mutable module).
+
+Hot paths throughout the library interrogate exactly two module
+attributes:
+
+- ``REGISTRY`` — the active :class:`~repro.obs.metrics.MetricsRegistry`,
+  or ``None`` when observability is disabled;
+- ``ACTIVE_STATS`` — the :class:`~repro.obs.stats.QueryStats` collector
+  installed by the innermost ``collect()`` / ``profiled_query()``
+  context, or ``None``.
+
+Both default to ``None``, so the disabled fast path is a module
+attribute load plus an ``is None`` test — no allocation, no call.  The
+environment variable ``REPRO_OBS`` (anything except ``0`` / ``false`` /
+``off`` / ``no`` / empty) enables a process-wide registry at import
+time; :func:`enable` / :func:`disable` switch it programmatically.
+
+This module deliberately imports nothing from the rest of the library
+at module level so that any hot module can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.stats import QueryStats
+
+_FALSY = frozenset({"", "0", "false", "off", "no"})
+
+#: the active metrics registry; ``None`` = observability disabled
+REGISTRY: Optional["MetricsRegistry"] = None
+
+#: the innermost active per-query stats collector (or ``None``)
+ACTIVE_STATS: Optional["QueryStats"] = None
+
+
+def env_requests_obs() -> bool:
+    """True when ``REPRO_OBS`` asks for observability at startup."""
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in _FALSY
+
+
+def enabled() -> bool:
+    """True when a metrics registry is currently installed."""
+    return REGISTRY is not None
+
+
+def enable(registry: Optional["MetricsRegistry"] = None) -> "MetricsRegistry":
+    """Install ``registry`` (or a fresh one) as the process registry.
+
+    Returns the installed registry; idempotent when called with the
+    registry that is already active.
+    """
+    global REGISTRY
+    if registry is None:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    REGISTRY = registry
+    return registry
+
+
+def disable() -> Optional["MetricsRegistry"]:
+    """Remove the active registry; returns it (for inspection) or None."""
+    global REGISTRY
+    previous = REGISTRY
+    REGISTRY = None
+    return previous
+
+
+def get_registry() -> Optional["MetricsRegistry"]:
+    """The active registry, or ``None`` when observability is off."""
+    return REGISTRY
+
+
+def init_from_env() -> None:
+    """Enable a registry when ``REPRO_OBS`` is set (import-time hook)."""
+    if REGISTRY is None and env_requests_obs():
+        enable()

@@ -1,0 +1,120 @@
+"""Nested timing spans with monotonic clocks.
+
+Usage::
+
+    from repro.obs import span
+
+    with span("index.build"):
+        with span("connectivity_graph"):
+            ...
+        with span("mst"):
+            ...
+
+When observability is disabled, :func:`span` returns a shared no-op
+singleton — no allocation, no clock read.  When enabled, each span
+pushes a :class:`SpanRecord` onto the active registry's span stack;
+on exit the record captures its elapsed time, attaches itself to its
+parent (or to the registry's root list), and feeds the per-phase
+histogram ``span.<name>.seconds`` so aggregate phase timings are
+available without walking the trees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import monotonic
+
+__all__ = ["SpanRecord", "span", "current_span"]
+
+
+class SpanRecord:
+    """One timed phase: name, elapsed seconds, nested children."""
+
+    __slots__ = ("name", "start", "elapsed", "children", "attrs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start = 0.0
+        self.elapsed = 0.0
+        self.children: List["SpanRecord"] = []
+        self.attrs: Dict[str, object] = {}
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "seconds": self.elapsed}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:
+        return f"SpanRecord({self.name}: {self.elapsed:.6f}s, {len(self.children)} children)"
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, key: str, value: object) -> None:
+        """Attribute setter accepted (and ignored) for API symmetry."""
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """Live span bound to a registry; created only when obs is enabled."""
+
+    __slots__ = ("_registry", "record")
+
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
+        self._registry = registry
+        self.record = SpanRecord(name)
+
+    def set(self, key: str, value: object) -> None:
+        """Attach an attribute (query size, dataset name, ...) to the span."""
+        self.record.attrs[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._registry.span_stack.append(self.record)
+        self.record.start = monotonic()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        record = self.record
+        record.elapsed = monotonic() - record.start
+        stack = self._registry.span_stack
+        # Tolerate a foreign registry swap mid-span: only pop our record.
+        if stack and stack[-1] is record:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            self._registry.add_span_root(record)
+        self._registry.histogram(f"span.{record.name}.seconds").observe(record.elapsed)
+
+
+def span(name: str):
+    """A context manager timing ``name``; no-op when obs is disabled."""
+    registry = runtime.REGISTRY
+    if registry is None:
+        return _NOOP
+    return _Span(registry, name)
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span record, or None."""
+    registry = runtime.REGISTRY
+    if registry is None or not registry.span_stack:
+        return None
+    return registry.span_stack[-1]

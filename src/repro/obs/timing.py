@@ -1,0 +1,40 @@
+"""The library's canonical monotonic clock and timing helpers.
+
+Every wall-clock measurement in ``src/repro`` goes through this module
+(the ``perf-counter-outside-obs`` lint rule enforces it), so there is
+exactly one place to swap the clock — for tests, for deterministic
+replay, or for a platform with a better timer.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter as monotonic  # the one sanctioned import
+
+__all__ = ["monotonic", "Stopwatch"]
+
+
+class Stopwatch:
+    """Sequential-phase timing: ``lap()`` returns seconds since last lap.
+
+    >>> sw = Stopwatch()
+    >>> _ = do_phase_one()      # doctest: +SKIP
+    >>> t1 = sw.lap()           # doctest: +SKIP
+    >>> _ = do_phase_two()      # doctest: +SKIP
+    >>> t2 = sw.lap()           # doctest: +SKIP
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self) -> None:
+        self._last = monotonic()
+
+    def lap(self) -> float:
+        """Seconds since construction or the previous ``lap()`` call."""
+        now = monotonic()
+        elapsed = now - self._last
+        self._last = now
+        return elapsed
+
+    def peek(self) -> float:
+        """Seconds since the last lap, without resetting the lap point."""
+        return monotonic() - self._last

@@ -130,6 +130,32 @@ CORPUS = [
         ),
         7,
     ),
+    (
+        "perf-counter-outside-obs",
+        "bench/clock_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            import time
+
+            def stamp():
+                return time.perf_counter()
+            """
+        ),
+        6,
+    ),
+    (
+        "perf-counter-outside-obs",
+        "core/clock_import_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            from time import perf_counter
+
+            def now():
+                return perf_counter()
+            """
+        ),
+        3,
+    ),
 ]
 
 
@@ -211,6 +237,18 @@ class TestRuleDetails:
 
     def test_integer_equality_not_flagged(self):
         source = FUTURE + "def f(x):\n    return x == 3\n"
+        assert lint_source(source, path="core/x.py") == []
+
+    def test_perf_counter_allowed_inside_obs(self):
+        source = FUTURE + "from time import perf_counter as monotonic\n"
+        assert lint_source(source, path="obs/timing.py") == []
+        findings = lint_source(source, path="bench/reporting.py")
+        assert [f.rule for f in findings] == ["perf-counter-outside-obs"]
+
+    def test_time_time_not_flagged(self):
+        # Only the perf_counter clocks are claimed by obs; time.time and
+        # time.sleep remain fine anywhere.
+        source = FUTURE + "import time\n\nSTAMP = time.time()\n"
         assert lint_source(source, path="core/x.py") == []
 
     def test_empty_module_needs_no_future_import(self):

@@ -79,7 +79,7 @@ class TestSMCCLBaseline:
                 except InfeasibleSizeConstraintError:
                     bl = None
                 try:
-                    res = index.smcc_l(q, bound)
+                    res = index.smcc_l(q, size_bound=bound)
                     opt = (sorted(res.vertices), res.connectivity)
                 except InfeasibleSizeConstraintError:
                     opt = None

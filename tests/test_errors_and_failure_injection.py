@@ -55,7 +55,7 @@ class TestHierarchy:
         with pytest.raises(ReproError):
             paper_index.smcc([0, 99])
         with pytest.raises(ReproError):
-            paper_index.smcc_l([0, 1], 1000)
+            paper_index.smcc_l([0, 1], size_bound=1000)
 
 
 class TestCorruptedPersistence:
@@ -99,18 +99,18 @@ class TestQueryValidationAcrossAPI:
         with pytest.raises(EmptyQueryError):
             paper_index.smcc([])
         with pytest.raises(EmptyQueryError):
-            paper_index.smcc_l([], 2)
+            paper_index.smcc_l([], size_bound=2)
         with pytest.raises(EmptyQueryError):
-            paper_index.subset_smcc([], 1)
+            paper_index.subset_smcc([], cover_bound=1)
 
     def test_unknown_vertex_everywhere(self, paper_index):
         for call in (
             lambda: paper_index.steiner_connectivity([0, 77]),
             lambda: paper_index.steiner_connectivity([0, 77], method="walk"),
             lambda: paper_index.smcc([77]),
-            lambda: paper_index.smcc_l([0, 77], 2),
-            lambda: paper_index.subset_smcc([0, 77], 1),
-            lambda: paper_index.smcc_cover([0, 77], 1),
+            lambda: paper_index.smcc_l([0, 77], size_bound=2),
+            lambda: paper_index.subset_smcc([0, 77], cover_bound=1),
+            lambda: paper_index.smcc_cover([0, 77], num_components=1),
         ):
             with pytest.raises(VertexNotFoundError):
                 call()

@@ -75,7 +75,7 @@ def _check_graph(graph):
     for u in range(n):
         for v in range(u + 1, n):
             expected = oracle[(u, v)]
-            assert index.steiner_connectivity([u, v], "walk") == expected
+            assert index.steiner_connectivity([u, v], method="walk") == expected
             assert index.sc_pair(u, v) == expected
     # every 2-subset SMCC against the Lemma 4.1 reconstruction
     for u in range(n):
@@ -95,7 +95,7 @@ def _check_graph(graph):
     q = [0, n - 1]
     for bound in range(2, n + 2):
         try:
-            result = index.smcc_l(q, bound)
+            result = index.smcc_l(q, size_bound=bound)
         except InfeasibleSizeConstraintError:
             assert bound > n
             continue

@@ -120,8 +120,8 @@ class TestSCWithSize:
 
     def test_facade_wiring(self):
         index = SMCCIndex.build(paper_example_graph())
-        assert index.steiner_connectivity_with_size([0, 3], 6) == 3
-        sub = index.subset_smcc([0, 3, 6], 2)
+        assert index.steiner_connectivity_with_size([0, 3], size_bound=6) == 3
+        sub = index.subset_smcc([0, 3, 6], cover_bound=2)
         assert sub.connectivity >= 3
-        cover = index.smcc_cover([0, 6, 10], 2)
+        cover = index.smcc_cover([0, 6, 10], num_components=2)
         assert len(cover) == 2

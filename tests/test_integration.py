@@ -51,7 +51,7 @@ class TestPipelineSSCA:
             except InfeasibleSizeConstraintError:
                 expected = None
             try:
-                result = index.smcc_l(q, bound)
+                result = index.smcc_l(q, size_bound=bound)
                 got = (sorted(result.vertices), result.connectivity)
             except InfeasibleSizeConstraintError:
                 got = None
@@ -60,8 +60,8 @@ class TestPipelineSSCA:
     def test_walk_and_star_agree_on_many_queries(self, ssca):
         graph, index = ssca
         for q in generate_queries(graph, 50, size=6, seed=3):
-            assert index.steiner_connectivity(q, "walk") == \
-                index.steiner_connectivity(q, "star")
+            assert index.steiner_connectivity(q, method="walk") == \
+                index.steiner_connectivity(q, method="star")
 
     def test_smcc_result_internally_consistent(self, ssca):
         graph, index = ssca

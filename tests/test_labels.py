@@ -86,7 +86,7 @@ class TestLabeledIndex:
         assert len(result) == 4
 
     def test_smcc_l(self, index):
-        result = index.smcc_l(["ann", "bob"], 7)
+        result = index.smcc_l(["ann", "bob"], size_bound=7)
         assert result.label_set == {"ann", "bob", "cid", "dee", "eve", "fay", "gus"}
         assert result.connectivity == 1
 
@@ -107,9 +107,9 @@ class TestLabeledIndex:
             index.smcc(["ann", "zoe"])
 
     def test_subset_and_cover(self, index):
-        sub = index.subset_smcc(["ann", "bob", "gus"], 2)
+        sub = index.subset_smcc(["ann", "bob", "gus"], cover_bound=2)
         assert sub.connectivity == 3
-        cover = index.smcc_cover(["ann", "gus"], 2)
+        cover = index.smcc_cover(["ann", "gus"], num_components=2)
         assert len(cover) == 2
         union = set().union(*(c.label_set for c in cover))
         assert {"ann", "gus"} <= union

@@ -1,0 +1,294 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the metric primitives, the span machinery, collector nesting,
+the runtime switches (including ``REPRO_OBS``), both exporters, and —
+critically — the disabled-by-default contract: with no registry and no
+collector installed, the hot-path helpers return shared no-op objects
+and allocate nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.export import to_json, to_prometheus
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import _NOOP, SpanRecord, current_span, span
+from repro.obs.stats import (
+    QueryStats,
+    collect,
+    profiled_query,
+    profiling_active,
+)
+from repro.obs.timing import Stopwatch
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    """Isolate every test from process-global observability state."""
+    prev_registry, prev_stats = runtime.REGISTRY, runtime.ACTIVE_STATS
+    runtime.REGISTRY = None
+    runtime.ACTIVE_STATS = None
+    yield
+    runtime.REGISTRY = prev_registry
+    runtime.ACTIVE_STATS = prev_stats
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge(self):
+        g = Gauge("x")
+        g.set(2.5)
+        g.add(-0.5)
+        assert g.value == 2.0
+
+    def test_histogram_summary_stats(self):
+        h = Histogram("t")
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.007)
+        assert h.min == 0.001 and h.max == 0.004
+        assert h.mean() == pytest.approx(0.007 / 3)
+
+    def test_histogram_power_of_two_buckets(self):
+        h = Histogram("t")
+        h.observe(3e-9)       # 3 ticks -> bucket upper bound 4 ticks
+        h.observe(3e-9)
+        h.observe(1e-9)       # 1 tick  -> bucket upper bound 2 ticks
+        h.observe(0.0)        # zero    -> dedicated 0 bucket
+        bounds = dict(h.bucket_bounds())
+        assert bounds[0.0] == 1
+        assert bounds[2e-9] == 1
+        assert bounds[4e-9] == 2
+
+    def test_empty_histogram_mean_is_none(self):
+        assert Histogram("t").mean() is None
+
+
+class TestRegistry:
+    def test_instruments_cached_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_record_query_aggregates(self):
+        reg = MetricsRegistry()
+        stats = QueryStats(kind="sc", query_size=3, lca_calls=2,
+                           vertices_touched=3, elapsed_seconds=0.01)
+        reg.record_query("sc", stats)
+        reg.record_query("sc", stats)
+        assert reg.counter("query.sc.count").value == 2
+        assert reg.counter("query.sc.lca_calls").value == 4
+        assert reg.counter("query.sc.query_size").value == 6
+        assert reg.histogram("query.sc.seconds").count == 2
+        # zero-valued counters are not materialised
+        assert "query.sc.flow_augmentations" not in reg.counters
+
+    def test_span_root_retention_bounded(self):
+        reg = MetricsRegistry()
+        for i in range(reg.MAX_SPAN_ROOTS + 40):
+            reg.add_span_root(SpanRecord(f"s{i}"))
+        assert len(reg.span_roots) == reg.MAX_SPAN_ROOTS
+        assert reg.span_roots[0].name == "s40"  # oldest dropped first
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.25)
+        reg.add_span_root(SpanRecord("root"))
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["spans"][0]["name"] == "root"
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "spans": [],
+        }
+
+
+class TestRuntime:
+    def test_disabled_by_default_here(self):
+        assert not runtime.enabled()
+        assert runtime.get_registry() is None
+        assert not profiling_active()
+
+    def test_enable_disable_roundtrip(self):
+        reg = runtime.enable()
+        assert runtime.enabled()
+        assert runtime.get_registry() is reg
+        assert runtime.enable(reg) is reg  # idempotent
+        assert runtime.disable() is reg
+        assert not runtime.enabled()
+
+    def test_env_requests_obs(self, monkeypatch):
+        for value in ("", "0", "false", "OFF", "no"):
+            monkeypatch.setenv("REPRO_OBS", value)
+            assert not runtime.env_requests_obs()
+        for value in ("1", "true", "on", "yes"):
+            monkeypatch.setenv("REPRO_OBS", value)
+            assert runtime.env_requests_obs()
+        monkeypatch.delenv("REPRO_OBS")
+        assert not runtime.env_requests_obs()
+
+    def test_init_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        runtime.init_from_env()
+        assert runtime.enabled()
+        runtime.disable()
+        monkeypatch.setenv("REPRO_OBS", "0")
+        runtime.init_from_env()
+        assert not runtime.enabled()
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        s = span("anything")
+        assert s is _NOOP
+        assert s is span("something.else")
+        with s as inner:
+            inner.set("ignored", 1)  # must not raise
+        assert current_span() is None
+
+    def test_nesting_builds_a_tree(self):
+        reg = runtime.enable()
+        with span("outer") as outer:
+            outer.set("n", 10)
+            with span("inner"):
+                assert current_span().name == "inner"
+        assert len(reg.span_roots) == 1
+        root = reg.span_roots[0]
+        assert root.name == "outer"
+        assert root.attrs == {"n": 10}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.elapsed >= root.children[0].elapsed >= 0.0
+        # per-phase aggregate histograms fed on exit
+        assert reg.histogram("span.outer.seconds").count == 1
+        assert reg.histogram("span.inner.seconds").count == 1
+
+    def test_sibling_spans_attach_to_same_parent(self):
+        reg = runtime.enable()
+        with span("root"):
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [c.name for c in reg.span_roots[0].children] == ["a", "b"]
+
+    def test_span_record_as_dict(self):
+        rec = SpanRecord("x")
+        rec.elapsed = 0.5
+        rec.attrs["k"] = 1
+        rec.children.append(SpanRecord("y"))
+        out = rec.as_dict()
+        assert out["name"] == "x" and out["seconds"] == 0.5
+        assert out["attrs"] == {"k": 1}
+        assert out["children"][0]["name"] == "y"
+
+
+class TestCollect:
+    def test_collect_installs_and_restores(self):
+        assert runtime.ACTIVE_STATS is None
+        with collect() as stats:
+            assert runtime.ACTIVE_STATS is stats
+            stats.vertices_touched += 7
+        assert runtime.ACTIVE_STATS is None
+        assert stats.vertices_touched == 7
+        assert stats.elapsed_seconds > 0.0
+
+    def test_nested_collect_merges_counters_not_sizes(self):
+        with collect() as outer:
+            with collect() as inner:
+                inner.lca_calls += 3
+                inner.query_size = 5
+            assert runtime.ACTIVE_STATS is outer
+        assert outer.lca_calls == 3
+        assert outer.query_size == 0  # sizes do not aggregate
+
+    def test_profiled_query_feeds_registry(self):
+        reg = runtime.enable()
+        with profiled_query("smcc", query_size=4) as stats:
+            stats.vertices_touched += 9
+        assert stats.kind == "smcc" and stats.query_size == 4
+        assert reg.counter("query.smcc.count").value == 1
+        assert reg.counter("query.smcc.vertices_touched").value == 9
+        assert reg.histogram("query.smcc.seconds").count == 1
+
+    def test_profiled_query_without_registry_still_collects(self):
+        with collect() as outer:
+            with profiled_query("sc", query_size=2) as stats:
+                stats.lca_calls += 1
+        assert outer.lca_calls == 1
+
+    def test_profiling_active_with_collector_only(self):
+        assert not profiling_active()
+        with collect():
+            assert profiling_active()
+        runtime.enable()
+        assert profiling_active()
+
+    def test_counter_items_covers_every_counter_field(self):
+        stats = QueryStats()
+        names = {name for name, _ in stats.counter_items()}
+        assert "vertices_touched" in names
+        assert "kind" not in names and "elapsed_seconds" not in names
+
+    def test_as_dict_roundtrips_through_json(self):
+        stats = QueryStats(kind="sc", lca_calls=2, elapsed_seconds=0.1)
+        out = json.loads(json.dumps(stats.as_dict()))
+        assert out["kind"] == "sc" and out["lca_calls"] == 2
+
+
+class TestExport:
+    @pytest.fixture
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("query.sc.count").inc(3)
+        reg.gauge("index.n").set(100)
+        reg.histogram("query.sc.seconds").observe(3e-9)
+        reg.histogram("query.sc.seconds").observe(3e-9)
+        reg.histogram("query.sc.seconds").observe(1e-9)
+        root = SpanRecord("index.build")
+        root.elapsed = 1.0
+        reg.add_span_root(root)
+        return reg
+
+    def test_to_json_parses_back(self, registry):
+        doc = json.loads(to_json(registry))
+        assert doc["counters"]["query.sc.count"] == 3
+        assert doc["gauges"]["index.n"] == 100
+        assert doc["histograms"]["query.sc.seconds"]["count"] == 3
+        assert doc["spans"][0]["name"] == "index.build"
+
+    def test_prometheus_exposition(self, registry):
+        text = to_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE query_sc_count counter" in lines
+        assert "query_sc_count 3" in lines
+        assert "# TYPE index_n gauge" in lines
+        assert "# TYPE query_sc_seconds histogram" in lines
+        # cumulative buckets, then +Inf == total count
+        assert 'query_sc_seconds_bucket{le="2e-09"} 1' in lines
+        assert 'query_sc_seconds_bucket{le="4e-09"} 3' in lines
+        assert 'query_sc_seconds_bucket{le="+Inf"} 3' in lines
+        assert "query_sc_seconds_count 3" in lines
+        assert text.endswith("\n")
+
+
+class TestStopwatch:
+    def test_lap_resets_peek_does_not(self):
+        watch = Stopwatch()
+        first = watch.peek()
+        assert first >= 0.0
+        lap = watch.lap()
+        assert lap >= first
+        assert watch.peek() <= lap  # lap restarted the clock

@@ -40,9 +40,9 @@ class TestSection2Definitions:
 
     def test_smcc_l_definitions(self, index):
         """'the SMCC_L of {v1,v4} with L=4 is g1, with L=6 is g1 ∪ g2'"""
-        r4 = index.smcc_l([0, 3], 4)
+        r4 = index.smcc_l([0, 3], size_bound=4)
         assert sorted(r4.vertices) == [0, 1, 2, 3, 4]
-        r6 = index.smcc_l([0, 3], 6)
+        r6 = index.smcc_l([0, 3], size_bound=6)
         assert sorted(r6.vertices) == list(range(9))
 
 
@@ -55,7 +55,7 @@ class TestSection4Examples:
 
     def test_example_4_3_smcc_l(self, index):
         """q = {v1, v4, v5}, L = 6: V_q = {v1..v9} with k = 3."""
-        result = index.smcc_l([0, 3, 4], 6)
+        result = index.smcc_l([0, 3, 4], size_bound=6)
         assert sorted(result.vertices) == list(range(9))
         assert result.connectivity == 3
 

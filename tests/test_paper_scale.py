@@ -25,8 +25,8 @@ def test_queries_at_paper_scale(paper_scale_index):
     index = paper_scale_index
     queries = generate_queries(index.graph, 50, 10, seed=9)
     for q in queries:
-        sc_star = index.steiner_connectivity(q, "star")
-        sc_walk = index.steiner_connectivity(q, "walk")
+        sc_star = index.steiner_connectivity(q, method="star")
+        sc_walk = index.steiner_connectivity(q, method="walk")
         assert sc_star == sc_walk >= 1
         result = index.smcc(q)
         assert set(q) <= result.vertex_set
@@ -36,7 +36,7 @@ def test_queries_at_paper_scale(paper_scale_index):
 def test_smcc_l_at_paper_scale(paper_scale_index):
     index = paper_scale_index
     bound = index.num_vertices // 2
-    result = index.smcc_l([0, 1], bound)
+    result = index.smcc_l([0, 1], size_bound=bound)
     assert len(result) >= bound
     assert result.connectivity >= 1
 

@@ -1,8 +1,10 @@
 """Tests for the SMCCIndex facade and SMCCResult."""
 
+import warnings
+
 import pytest
 
-from repro import Graph, SMCCIndex
+from repro import Graph, SMCCIndex, VerifyReport
 from repro.errors import DisconnectedQueryError, InfeasibleSizeConstraintError
 from repro.graph.generators import paper_example_graph
 
@@ -15,8 +17,8 @@ class TestBuildAndQuery:
 
     def test_walk_and_star_agree(self, paper_index):
         for q in ([0, 3], [0, 3, 6], [7, 12, 6], [0, 11]):
-            assert paper_index.steiner_connectivity(q, "walk") == \
-                paper_index.steiner_connectivity(q, "star")
+            assert paper_index.steiner_connectivity(q, method="walk") == \
+                paper_index.steiner_connectivity(q, method="star")
 
     def test_unknown_method(self, paper_index):
         with pytest.raises(ValueError):
@@ -57,13 +59,13 @@ class TestSMCCResult:
         assert sub.num_edges == 10  # K5
 
     def test_smcc_l_result(self, paper_index):
-        result = paper_index.smcc_l([0, 3], 6)
+        result = paper_index.smcc_l([0, 3], size_bound=6)
         assert len(result) == 9
         assert result.connectivity == 3
 
     def test_smcc_l_infeasible(self, paper_index):
         with pytest.raises(InfeasibleSizeConstraintError):
-            paper_index.smcc_l([0, 3], 100)
+            paper_index.smcc_l([0, 3], size_bound=100)
 
 
 class TestSMCCInterval:
@@ -94,7 +96,8 @@ class TestSMCCInterval:
 class TestBulkAnalytics:
     def test_sc_pairs_batch_via_facade(self, paper_index):
         out = paper_index.sc_pairs_batch([0, 0, 7], [3, 11, 12])
-        assert out.tolist() == [4, 2, 2]
+        assert isinstance(out, list)
+        assert out == [4, 2, 2]
 
     def test_scipy_linkage_via_facade(self, paper_index):
         from scipy.cluster.hierarchy import is_valid_linkage
@@ -140,6 +143,89 @@ class TestPersistenceFacade:
         loaded = SMCCIndex.load(tmp_path / "idx")
         loaded.insert_edge(6, 9)
         assert loaded.steiner_connectivity([0, 9]) == 3
+
+
+class TestKeywordOnlyOptions:
+    """Option arguments are keyword-only; positional use warns for one
+    release (the shim forwards the values unchanged), then becomes an
+    error."""
+
+    def test_positional_method_warns_but_works(self, paper_index):
+        with pytest.warns(DeprecationWarning, match="passing method positionally"):
+            value = paper_index.steiner_connectivity([0, 3], "walk")
+        assert value == paper_index.steiner_connectivity([0, 3], method="walk")
+
+    def test_positional_size_bound_warns_but_works(self, paper_index):
+        with pytest.warns(DeprecationWarning, match="size_bound positionally"):
+            result = paper_index.smcc_l([0, 3], 6)
+        assert len(result) == 9
+
+    def test_positional_build_options_warn(self, paper_graph):
+        with pytest.warns(DeprecationWarning, match="passing method positionally"):
+            index = SMCCIndex.build(paper_graph, "sharing")
+        assert index.steiner_connectivity([0, 3]) == 4
+
+    def test_keyword_form_is_silent(self, paper_index):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            paper_index.steiner_connectivity([0, 3], method="walk")
+            paper_index.smcc_l([0, 3], size_bound=6)
+
+    def test_smcc_l_requires_size_bound(self, paper_index):
+        with pytest.raises(TypeError, match="size_bound"):
+            paper_index.smcc_l([0, 3])
+
+    def test_size_bound_given_twice_rejected(self, paper_index):
+        with pytest.raises(TypeError, match="size_bound"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                paper_index.smcc_l([0, 3], 6, size_bound=6)
+
+    def test_too_many_positionals_rejected(self, paper_index):
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                paper_index.steiner_connectivity([0, 3], "walk", "extra")
+
+
+class TestReprAndReports:
+    def test_repr_shows_state(self, paper_graph):
+        index = SMCCIndex.build(paper_graph)
+        _ = index.mst_star  # force the derived structure
+        text = repr(index)
+        assert "n=13" in text and "m=27" in text
+        assert "mst_star=built" in text
+        assert "engine='exact'" in text
+        index.insert_edge(3, 8)  # invalidates MST*
+        assert "mst_star=stale" in repr(index)
+
+    def test_verify_returns_report(self, paper_index):
+        report = paper_index.verify(sample_pairs=8, seed=1)
+        assert isinstance(report, VerifyReport)
+        assert report.ok is True
+        assert report.num_vertices == 13
+        assert report.num_edges == 27
+        assert report.pairs_sampled == 8
+        assert report.tree_edges_checked == 12
+        assert report.elapsed_seconds > 0.0
+        as_dict = report.as_dict()
+        assert as_dict["ok"] is True and as_dict["num_components"] == 1
+
+    def test_results_carry_stats_only_when_profiling(self, paper_index):
+        from repro.obs import runtime
+        from repro.obs.stats import collect
+
+        previous = runtime.REGISTRY
+        runtime.REGISTRY = None  # REPRO_OBS=1 CI job enables it globally
+        try:
+            assert paper_index.smcc([0, 3]).query_stats is None
+            with collect():
+                result = paper_index.smcc([0, 3])
+        finally:
+            runtime.REGISTRY = previous
+        assert result.query_stats is not None
+        assert result.query_stats.kind == "smcc"
+        assert result.query_stats.vertices_touched > 0
 
 
 class TestDegenerate:

@@ -77,11 +77,11 @@ class DynamicIndexMachine(RuleBasedStateMachine):
         for u in range(n):
             for v in range(u + 1, n):
                 try:
-                    maintained = self.index.steiner_connectivity([u, v], "walk")
+                    maintained = self.index.steiner_connectivity([u, v], method="walk")
                 except DisconnectedQueryError:
                     maintained = 0
                 try:
-                    rebuilt = fresh.steiner_connectivity([u, v], "walk")
+                    rebuilt = fresh.steiner_connectivity([u, v], method="walk")
                 except DisconnectedQueryError:
                     rebuilt = 0
                 assert maintained == rebuilt, (u, v)
