@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Bench smoke: parallel index build must actually be faster.
+
+Runs the serial-vs-parallel ConnGraph-BS build benchmark, writes the
+``BENCH_build.json`` baseline artifact, and asserts
+
+- the parallel and serial sc maps are identical (always), and
+- ``--jobs N`` beats ``--jobs 1`` by at least the 1.5x target
+  (only where more than one CPU is available; a process pool cannot
+  win on a single-core box, so the speedup check is reported but not
+  enforced there).
+
+Exit status 0 = pass, 1 = a required assertion failed.  Used by the
+CI ``bench-smoke`` job, which uploads BENCH_build.json as an artifact;
+run locally as ``python scripts/bench_build_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.build_bench import (
+    BENCH_JSON,
+    SPEEDUP_TARGET,
+    run_build_bench,
+    write_bench_json,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=BENCH_JSON,
+                        help="where to write the JSON baseline")
+    parser.add_argument("-n", type=int, default=None,
+                        help="workload size (vertices); default bench size")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel job count (default: min(4, cpus))")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repetitions (best-of)")
+    args = parser.parse_args(argv)
+
+    kwargs = {"jobs": args.jobs, "repeats": args.repeats}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    result = run_build_bench(**kwargs)
+    write_bench_json(args.output, result)
+
+    workload = result["workload"]
+    print(f"workload: ssca n={workload['n']} m={workload['m']}")
+    print(f"cpus={result['cpu_count']} jobs={result['jobs']}")
+    print(f"serial   {result['serial_seconds']:.3f}s")
+    print(f"parallel {result['parallel_seconds']:.3f}s")
+    print(f"speedup  {result['speedup']:.2f}x  (target {SPEEDUP_TARGET}x, "
+          f"{'enforced' if result['target_enforced'] else 'not enforced: <2 cpus'})")
+    print(f"baseline written to {args.output}")
+
+    ok = True
+    if not result["identical_weights"]:
+        print("FAIL: parallel build produced a different sc map", file=sys.stderr)
+        ok = False
+    if result["target_enforced"] and result["speedup"] < SPEEDUP_TARGET:
+        print(
+            f"FAIL: speedup {result['speedup']:.2f}x below the "
+            f"{SPEEDUP_TARGET}x target with {result['cpu_count']} cpus",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

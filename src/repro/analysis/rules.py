@@ -32,6 +32,11 @@ the paper at production scale:
     layer; outside :mod:`repro.obs`, time through
     :class:`repro.obs.timing.Stopwatch` / ``repro.obs.timing.monotonic``
     so measurements land in the metrics registry consistently.
+``multiprocessing-outside-parallel``
+    pool lifecycle, start-method choice and the ``jobs=1`` serial
+    guarantee live in :mod:`repro.parallel`; direct ``multiprocessing``
+    / ``concurrent.futures`` imports elsewhere fork uncontrolled worker
+    processes — go through :class:`repro.parallel.PieceExecutor`.
 """
 
 from __future__ import annotations
@@ -465,3 +470,44 @@ class PerfCounterOutsideObsRule(Rule):
                     if alias.name == "time":
                         aliases.add(alias.asname or "time")
         return aliases
+
+
+# ----------------------------------------------------------------------
+@register
+class MultiprocessingOutsideParallelRule(Rule):
+    id = "multiprocessing-outside-parallel"
+    description = (
+        "multiprocessing / concurrent.futures imported outside "
+        "repro.parallel; pool lifecycle and the jobs=1 serial guarantee "
+        "live there — use repro.parallel.PieceExecutor"
+    )
+
+    _FORBIDDEN_ROOTS = frozenset({"multiprocessing", "concurrent"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # repro.parallel is the one sanctioned home of process pools.
+        return "parallel" not in ctx.package_parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in self._FORBIDDEN_ROOTS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` outside repro.parallel; "
+                            "request workers through "
+                            "repro.parallel.PieceExecutor",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".", 1)[0]
+                if root in self._FORBIDDEN_ROOTS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`from {node.module} import ...` outside "
+                        "repro.parallel; request workers through "
+                        "repro.parallel.PieceExecutor",
+                    )

@@ -1,0 +1,122 @@
+"""Index-construction benchmark: serial vs parallel ConnGraph-BS.
+
+Not one of the paper's experiments — this is the repo's own baseline
+for the ``repro.parallel`` fan-out pipeline.  :func:`run_build_bench`
+builds the connectivity graph of one workload twice (``jobs=1`` and
+``jobs=N``), checks the two sc maps are identical, and returns a
+JSON-ready result record; :func:`write_bench_json` lands it in
+``BENCH_build.json``, the artifact CI uploads and the bench smoke
+script asserts against (speedup >= 1.5x wherever more than one CPU is
+actually available — the assertion is skipped on single-core boxes,
+where a process pool cannot help by construction).
+
+The workload is a multi-community SSCA-style graph: ConnGraph-BS
+rounds over it fracture into several large pieces, which is the shape
+piece fan-out accelerates (a single monolithic k-core keeps every
+round at one piece and parallelism idle).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from repro.bench.reporting import Table
+from repro.graph.generators import ssca_graph
+from repro.index.connectivity_graph import conn_graph_sharing
+from repro.obs.timing import Stopwatch
+from repro.parallel import cpu_count, resolve_jobs
+
+#: the smoke assertion: parallel build must beat serial by this factor
+SPEEDUP_TARGET = 1.5
+
+#: default output artifact name (uploaded by the CI bench-smoke step)
+BENCH_JSON = "BENCH_build.json"
+
+DEFAULT_N = 6000
+DEFAULT_SEED = 42
+
+
+def run_build_bench(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    jobs: Optional[int] = None,
+    repeats: int = 1,
+) -> Dict[str, Any]:
+    """Time serial vs parallel connectivity-graph builds.
+
+    ``jobs`` defaults to the machine's CPU count (capped at 4 — piece
+    fan-out saturates quickly because every round has one dominant
+    piece).  Returns a JSON-serializable record; ``speedup`` is serial
+    time over parallel time (higher is better) and
+    ``target_enforced`` says whether the smoke assertion applies on
+    this machine.
+    """
+    cpus = cpu_count()
+    effective_jobs = resolve_jobs(jobs) if jobs is not None else min(4, max(2, cpus))
+    graph = ssca_graph(n, seed=seed)
+    watch = Stopwatch()
+    serial_s = float("inf")
+    parallel_s = float("inf")
+    serial_weights: Dict[Tuple[int, int], int] = {}
+    parallel_weights: Dict[Tuple[int, int], int] = {}
+    for _ in range(max(1, repeats)):
+        watch.lap()
+        serial_weights = conn_graph_sharing(graph, jobs=1).weights_dict()
+        serial_s = min(serial_s, watch.lap())
+        parallel_weights = conn_graph_sharing(graph, jobs=effective_jobs).weights_dict()
+        parallel_s = min(parallel_s, watch.lap())
+    return {
+        "bench": "build",
+        "workload": {
+            "generator": "ssca",
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "seed": seed,
+        },
+        "cpu_count": cpus,
+        "jobs": effective_jobs,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "speedup_target": SPEEDUP_TARGET,
+        "target_enforced": cpus >= 2,
+        "identical_weights": serial_weights == parallel_weights,
+    }
+
+
+def write_bench_json(
+    path: str = BENCH_JSON, result: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Run the bench (unless ``result`` is given) and write the artifact."""
+    if result is None:
+        result = run_build_bench()
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def build_bench(profile: str = "quick") -> Table:
+    """Harness entry point: the serial-vs-parallel build comparison.
+
+    Registered as ``build_bench`` in the experiment registry; also
+    emits :data:`BENCH_JSON` into the working directory as a side
+    effect so ``repro bench build_bench`` doubles as the baseline
+    generator.
+    """
+    result = write_bench_json(result=run_build_bench())
+    table = Table(
+        "Build bench: ConnGraph-BS serial vs parallel (seconds)",
+        ["Workload", "jobs", "serial", "parallel", "speedup", "identical sc"],
+    )
+    workload = result["workload"]
+    table.add_row(
+        f"ssca n={workload['n']} m={workload['m']}",
+        result["jobs"],
+        result["serial_seconds"],
+        result["parallel_seconds"],
+        result["speedup"],
+        result["identical_weights"],
+    )
+    return table

@@ -509,6 +509,13 @@ def ablations(profile="quick", dataset: str = "SSCA1") -> Table:
 # ----------------------------------------------------------------------
 # The whole evaluation
 # ----------------------------------------------------------------------
+def _build_bench(profile="quick") -> Table:
+    """Serial-vs-parallel build comparison (emits BENCH_build.json)."""
+    from repro.bench.build_bench import build_bench
+
+    return build_bench(profile)
+
+
 EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "table1_table2": table1_table2,
     "table3": table3,
@@ -523,6 +530,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "table10": table10,
     "table11": table11,
     "ablations": ablations,
+    "build_bench": _build_bench,
 }
 
 

@@ -45,20 +45,19 @@ class CSRGraph:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(cls, graph: Graph) -> "CSRGraph":
-        """Snapshot a dynamic graph into CSR form."""
-        n = graph.num_vertices
-        degrees = np.fromiter(
-            (graph.degree(u) for u in range(n)), dtype=np.int64, count=n
-        )
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        indices = np.empty(int(indptr[-1]), dtype=np.int64)
-        cursor = indptr[:-1].copy()
-        for u in range(n):
-            for v in graph.neighbors(u):
-                indices[cursor[u]] = v
-                cursor[u] += 1
-        return cls(indptr, indices)
+        """Snapshot a dynamic graph into CSR form.
+
+        One Python pass extracts the edge list; row assembly (mirroring,
+        sorting, offset computation) is all vectorized in
+        :meth:`from_edge_arrays` — on large graphs this beats the
+        per-neighbor fill loop by roughly the ratio of numpy to
+        interpreter throughput.
+        """
+        edges = graph.edge_list()
+        ne = len(edges)
+        us = np.fromiter((u for u, _ in edges), dtype=np.int64, count=ne)
+        vs = np.fromiter((v for _, v in edges), dtype=np.int64, count=ne)
+        return cls.from_edge_arrays(graph.num_vertices, us, vs)
 
     @classmethod
     def from_edge_arrays(

@@ -13,6 +13,23 @@ finished pieces.  The framework then recurses into every piece until a
 Decompose call returns its input unsplit, which certifies the piece is
 k-edge connected (the cutability property).
 
+Two Decompose kernels implement the same round semantics:
+
+- the **array kernel** keeps the partition graph as flat numpy arrays,
+  rebuilds the contracted CSR once per round with
+  :meth:`~repro.graph.csr.CSRGraph.from_edge_arrays`, and runs the
+  vectorized MAS of :func:`repro.kecc.mas.max_adjacency_order_arrays`;
+- the **dict kernel** maintains dict-of-dicts adjacency incrementally.
+
+Dispatch is by *density*: one MAS relaxation touches a vertex's whole
+neighbor slice, so the vectorized update amortizes numpy's fixed
+per-call cost only once the average (multigraph) degree clears
+:data:`ARRAY_KERNEL_MIN_AVG_DEGREE` — measured break-even is around
+degree 100 on CPython 3.11 — while on sparse pieces the dict kernel's
+per-edge constants win.  Dense pieces are exactly where Decompose
+spends its time (contraction piles multiplicity onto few
+super-vertices), so the array kernel kicks in where it matters.
+
 Time complexity is ``O(h * l * |E|)`` where ``h`` is the recursion depth
 and ``l`` the number of Decompose rounds, both small constants on real
 graphs.
@@ -22,12 +39,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.contracts import invariant
 from repro.analysis.lemmas import is_partition
-from repro.kecc.mas import components_of, max_adjacency_order
+from repro.graph.csr import CSRGraph
+from repro.kecc.mas import (
+    components_of,
+    max_adjacency_order,
+    max_adjacency_order_arrays,
+)
 from repro.obs import runtime as _obs
 
 Edge = Tuple[int, int]
+
+#: minimum piece size before the numpy Decompose kernel is considered
+ARRAY_KERNEL_MIN_EDGES = 256
+
+#: minimum average multigraph degree (2|E|/|V|) for the numpy kernel;
+#: below this the dict kernel's per-edge constants beat vectorization
+ARRAY_KERNEL_MIN_AVG_DEGREE = 96
 
 
 def keccs_exact(num_vertices: int, edges: Sequence[Edge], k: int) -> List[List[int]]:
@@ -79,10 +110,160 @@ def keccs_exact(num_vertices: int, edges: Sequence[Edge], k: int) -> List[List[i
 def _decompose(vertices: List[int], edges: List[Edge], k: int) -> List[List[int]]:
     """One Decompose call: split ``vertices`` into candidate pieces.
 
+    Dispatches on piece density (see module docstring): the vectorized
+    kernel needs long neighbor slices to amortize numpy call overhead,
+    so sparse pieces and the long tail of small recursion pieces stay
+    on the dict kernel.
+    """
+    if (
+        len(edges) >= ARRAY_KERNEL_MIN_EDGES
+        and 2 * len(edges) >= ARRAY_KERNEL_MIN_AVG_DEGREE * len(vertices)
+    ):
+        return _decompose_arrays(vertices, edges, k)
+    return _decompose_dicts(vertices, edges, k)
+
+
+# ----------------------------------------------------------------------
+# Array kernel
+# ----------------------------------------------------------------------
+def _aggregate_edges(
+    num_vertices: int, us: np.ndarray, vs: np.ndarray, mult: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge parallel edges: canonical ``(lo, hi)`` pairs with summed
+    multiplicities (all-numpy; the per-round contraction cleanup)."""
+    if len(us) == 0:
+        return us, vs, mult
+    lo = np.minimum(us, vs)
+    hi = np.maximum(us, vs)
+    key = lo * np.int64(num_vertices) + hi
+    order = np.argsort(key, kind="stable")
+    key = key[order]
+    first = np.empty(len(key), dtype=bool)
+    first[0] = True
+    np.not_equal(key[1:], key[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    sums = np.add.reduceat(mult[order], starts)
+    uniq = key[starts]
+    return uniq // num_vertices, uniq % num_vertices, sums
+
+
+def _decompose_arrays(
+    vertices: List[int], edges: List[Edge], k: int
+) -> List[List[int]]:
+    """Decompose over flat numpy arrays (one CSR rebuild per round).
+
+    The partition graph lives as three parallel arrays ``(us, vs,
+    mult)`` over compact super-vertex ids.  Each round: build the
+    contracted CSR via :meth:`CSRGraph.from_edge_arrays`, order every
+    component with the vectorized MAS, record case-I contractions in a
+    union-find and case-II peels in a mask, then relabel + re-aggregate
+    the edge arrays in O(|E|) numpy.  Rebuilding vectorized replaces
+    the dict kernel's incremental small-to-large map merging — same
+    per-round semantics, flat-array constants.
+    """
+    local_of = {v: i for i, v in enumerate(vertices)}
+    ne = len(edges)
+    us = np.fromiter((local_of[e[0]] for e in edges), np.int64, count=ne)
+    vs = np.fromiter((local_of[e[1]] for e in edges), np.int64, count=ne)
+    num_super = len(vertices)
+    us, vs, mult = _aggregate_edges(num_super, us, vs, np.ones(ne, dtype=np.int64))
+    # members[s] = original vertex ids merged into super-vertex s
+    members: List[List[int]] = [[v] for v in vertices]
+    pieces: List[List[int]] = []
+    rounds = 0
+
+    while num_super > 0:
+        rounds += 1
+        csr = CSRGraph.from_edge_arrays(num_super, us, vs, weights=mult)
+        indptr, indices, weights = csr.indptr, csr.indices, csr.weights
+        attach = np.zeros(num_super, dtype=np.int64)
+        state = np.zeros(num_super, dtype=np.int8)
+        peeled = np.zeros(num_super, dtype=bool)
+        # Per-round union-find over super-vertex ids (case-I merges).
+        parent = list(range(num_super))
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        # Isolated super-vertices are their own MAS component: a single
+        # vertex with attachment 0 < k peels off immediately.
+        degrees = np.diff(indptr)
+        for s in np.flatnonzero(degrees == 0).tolist():
+            state[s] = 2
+            peeled[s] = True
+            pieces.append(members[s])
+        for start in range(num_super):
+            if state[start] == 2:
+                continue
+            order, order_weights = max_adjacency_order_arrays(
+                indptr, indices, weights, start, attach=attach, state=state
+            )
+            # Case I (Lemma A.3): contract each vertex with w(L, u) >= k
+            # into its immediate predecessor (possibly itself merged).
+            for i in range(1, len(order)):
+                if order_weights[i] < k:
+                    continue
+                keep = find(order[i - 1])
+                parent[order[i]] = keep
+            # Case II: peel trailing super-vertices with w(L, v) < k; each
+            # becomes a finished piece.  (A peeled vertex never merges —
+            # a successor with w >= k stops the peel first, and merges
+            # only chain through pre-suffix positions.)
+            i = len(order) - 1
+            while i >= 0 and order_weights[i] < k:
+                root = order[i]
+                peeled[root] = True
+                pieces.append(members[root])
+                i -= 1
+        # Relabel: compact surviving union-find roots to 0..n'-1, merge
+        # member lists, and rebuild the aggregated edge arrays.
+        root_of = np.fromiter(
+            (find(s) for s in range(num_super)), np.int64, count=num_super
+        )
+        survives = ~peeled
+        root_ids = np.unique(root_of[survives]) if survives.any() else root_of[:0]
+        new_id = np.full(num_super, -1, dtype=np.int64)
+        new_id[root_ids] = np.arange(len(root_ids), dtype=np.int64)
+        next_members: List[List[int]] = [[] for _ in range(len(root_ids))]
+        for s in range(num_super):
+            if not peeled[s]:
+                next_members[new_id[root_of[s]]].extend(members[s])
+        members = next_members
+        if len(root_ids) and len(us):
+            ru = new_id[root_of[us]]
+            rv = new_id[root_of[vs]]
+            keep_mask = (ru >= 0) & (rv >= 0) & (ru != rv)
+            us, vs, mult = _aggregate_edges(
+                len(root_ids), ru[keep_mask], rv[keep_mask], mult[keep_mask]
+            )
+        else:
+            us = us[:0]
+            vs = vs[:0]
+            mult = mult[:0]
+        num_super = len(root_ids)
+    stats = _obs.ACTIVE_STATS
+    if stats is not None:
+        stats.kecc_rounds += rounds
+    return pieces
+
+
+# ----------------------------------------------------------------------
+# Dict kernel (small pieces)
+# ----------------------------------------------------------------------
+def _decompose_dicts(
+    vertices: List[int], edges: List[Edge], k: int
+) -> List[List[int]]:
+    """Decompose over dict-of-dicts adjacency (small-piece kernel).
+
     Works over a partition graph of super-vertices whose weighted
     adjacency is maintained *incrementally* across rounds (small-to-large
-    map merging on contraction, neighbor cleanup on peel) — rebuilding it
-    from the edge list every round dominated the profile otherwise.
+    map merging on contraction, neighbor cleanup on peel); below the
+    numpy break-even point this beats the per-round array rebuild.
     Returns the peeled pieces as lists of original vertex ids; always
     terminates with the partition graph empty (Algorithm 13, Decompose).
     """

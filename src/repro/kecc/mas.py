@@ -9,11 +9,20 @@ KECC engine exploits:
   connected (safe to contract);
 - if the *last* vertex has ``w(L, v) < k`` then no vertex is k-edge
   connected to it (safe to peel off as its own piece).
+
+Two implementations share the lazy-bucket-queue structure:
+:func:`max_adjacency_order` walks dict-of-dicts adjacency (cheap on
+tiny partition graphs), while :func:`max_adjacency_order_arrays` runs
+on CSR arrays and performs each relaxation as one vectorized numpy
+update over the popped vertex's whole neighbor slice — the kernel the
+array-backed exact engine uses on large pieces.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 #: Weighted multigraph adjacency: dense (list indexed by vertex id) or
 #: sparse (dict keyed by vertex id); both map each vertex to
@@ -78,6 +87,82 @@ def max_adjacency_order(
             if new > cur:
                 cur = new
     return order, weights
+
+
+def max_adjacency_order_arrays(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    start: int,
+    attach: Optional[np.ndarray] = None,
+    state: Optional[np.ndarray] = None,
+) -> Tuple[List[int], List[int]]:
+    """Maximum adjacency order over CSR arrays, vectorized relaxations.
+
+    Same contract as :func:`max_adjacency_order`, restricted to the
+    component reachable from ``start``; ``indptr``/``indices``/
+    ``weights`` describe an aggregated multigraph in CSR form (each
+    neighbor appears once per row, carrying its multiplicity), so one
+    pop relaxes the entire neighbor slice with a single fancy-indexed
+    ``attach[nbrs] += mult`` instead of a per-edge dict update.
+
+    ``attach`` (int64, **zero-filled** for undiscovered vertices) and
+    ``state`` (int8: 0 = undiscovered, 1 = pending, 2 = done) are
+    optional scratch arrays of length ``n`` that callers may
+    preallocate and share across the components of one partition graph
+    (each vertex is discovered at most once per graph, so attachment
+    weights never need resetting).  Entries touched by this call are
+    left in their final state (``state == 2`` for every ordered
+    vertex), which doubles as the caller's visited mark.
+    """
+    n = len(indptr) - 1
+    if attach is None:
+        attach = np.zeros(n, dtype=np.int64)
+    if state is None:
+        state = np.zeros(n, dtype=np.int8)
+    order: List[int] = []
+    out_weights: List[int] = []
+    buckets: Dict[int, List[int]] = {0: [start]}
+    state[start] = 1
+    cur = 0
+    pending = 1  # discovered but not yet ordered
+    while pending:
+        bucket = buckets.get(cur)
+        if not bucket:
+            cur -= 1
+            continue
+        u = bucket.pop()
+        if state[u] != 1 or attach[u] != cur:
+            continue  # stale entry (done, or superseded by a heavier one)
+        state[u] = 2
+        order.append(u)
+        out_weights.append(cur)
+        pending -= 1
+        lo, hi = indptr[u], indptr[u + 1]
+        nbrs = indices[lo:hi]
+        mult = weights[lo:hi]
+        nbr_state = state[nbrs]
+        if 2 in nbr_state:
+            live = nbr_state != 2
+            nbrs = nbrs[live]
+            if len(nbrs) == 0:
+                continue
+            mult = mult[live]
+            nbr_state = nbr_state[live]
+        # st values are now 0/1, so the fresh count is len - popcount.
+        pending += len(nbrs) - int(np.count_nonzero(nbr_state))
+        state[nbrs] = 1
+        news = attach[nbrs] + mult
+        attach[nbrs] = news
+        for v, w in zip(nbrs.tolist(), news.tolist()):
+            if w > cur:
+                cur = w
+            entry = buckets.get(w)
+            if entry is None:
+                buckets[w] = [v]
+            else:
+                entry.append(v)
+    return order, out_weights
 
 
 def components_of(adj: Adjacency, nodes: Iterable[int]) -> List[List[int]]:

@@ -1,0 +1,56 @@
+"""Process-level parallelism for index construction (``repro.parallel``).
+
+The pieces of every ConnGraph-BS round are independent by construction
+— Lemma 5.1 assigns each edge's sc exactly once, inside its own piece —
+which makes per-piece fan-out safe: this package supplies the process
+pool (:class:`~repro.parallel.executor.PieceExecutor`), the picklable
+flat-array piece payloads (:mod:`repro.parallel.worker`), the
+largest-piece-first round scheduler
+(:mod:`repro.parallel.scheduler`), and the ``jobs`` / ``REPRO_JOBS``
+resolution rules (:mod:`repro.parallel.config`).
+
+Everything outside this package requests parallelism through these
+interfaces; direct ``multiprocessing`` / ``concurrent.futures`` imports
+elsewhere are rejected by the ``multiprocessing-outside-parallel``
+repro-lint rule.
+
+Parallel and serial builds produce identical sc maps: workers run the
+same engines on the same localized inputs, and the k-ecc partition of a
+graph is unique.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.config import (
+    DEFAULT_MIN_PIECE_EDGES,
+    JOBS_ENV_VAR,
+    cpu_count,
+    resolve_jobs,
+    resolve_min_piece_edges,
+)
+from repro.parallel.executor import PieceExecutor
+from repro.parallel.scheduler import RoundPlan, largest_first, plan_round
+from repro.parallel.worker import (
+    PiecePayload,
+    encode_piece,
+    kecc_piece_worker,
+    localize_edges,
+    piece_arrays_from_edges,
+)
+
+__all__ = [
+    "DEFAULT_MIN_PIECE_EDGES",
+    "JOBS_ENV_VAR",
+    "PieceExecutor",
+    "PiecePayload",
+    "RoundPlan",
+    "cpu_count",
+    "encode_piece",
+    "kecc_piece_worker",
+    "largest_first",
+    "localize_edges",
+    "piece_arrays_from_edges",
+    "plan_round",
+    "resolve_jobs",
+    "resolve_min_piece_edges",
+]

@@ -1,0 +1,74 @@
+"""Job-count resolution and parallelism thresholds.
+
+One knob controls the whole subsystem: the number of *jobs* (worker
+processes) used by index construction.  Resolution order is
+
+1. an explicit ``jobs=`` argument (``repro build --jobs N`` plumbs the
+   CLI flag through here),
+2. the ``REPRO_JOBS`` environment variable (``auto`` = CPU count),
+3. the serial default of 1.
+
+``jobs=1`` is a guarantee, not a hint: callers take the exact serial
+code path — no pool is spawned, no payloads are encoded.
+
+Pieces below :data:`DEFAULT_MIN_PIECE_EDGES` edges are never shipped to
+a worker even when a pool is available; per-piece pickling plus IPC
+costs more than the KECC call itself on small pieces, and every
+ConnGraph-BS round produces a long tail of them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ReproError
+
+#: pieces with fewer edges than this run inline in the parent process
+DEFAULT_MIN_PIECE_EDGES = 256
+
+#: environment variable holding the default job count
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def cpu_count() -> int:
+    """Usable CPUs for this process (affinity-aware, always >= 1)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the effective worker-process count.
+
+    ``jobs`` wins when given; otherwise ``REPRO_JOBS`` is consulted
+    (the literal ``auto`` maps to the CPU count); otherwise 1 (serial).
+    The result is always >= 1.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip().lower()
+        if not raw:
+            return 1
+        if raw == "auto":
+            return cpu_count()
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"{JOBS_ENV_VAR}={raw!r} is not an integer (or 'auto')"
+            ) from None
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_min_piece_edges(min_piece_edges: Optional[int] = None) -> int:
+    """Resolve the inline/pool piece-size threshold (>= 0)."""
+    if min_piece_edges is None:
+        return DEFAULT_MIN_PIECE_EDGES
+    if min_piece_edges < 0:
+        raise ReproError(
+            f"min_piece_edges must be >= 0, got {min_piece_edges}"
+        )
+    return min_piece_edges

@@ -1,0 +1,92 @@
+"""The process-pool executor behind parallel index construction.
+
+This module is the library's **only** sanctioned home of
+``concurrent.futures`` / ``multiprocessing`` imports (enforced by the
+``multiprocessing-outside-parallel`` repro-lint rule): every other
+subsystem requests parallelism through :class:`PieceExecutor`, which
+keeps pool lifecycle, start-method selection and the serial fallback in
+one place.
+
+The pool is created lazily on the first submission — a build whose
+pieces all fall below the inline threshold never pays the fork cost —
+and reused across rounds of the same build (round barriers do not
+recycle workers).  On platforms that support it the ``fork`` start
+method is used so workers inherit the imported library instead of
+re-importing it per process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, List, Optional
+
+from repro.parallel.config import resolve_jobs
+
+
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The cheapest usable start method (fork where available)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return None
+
+
+class PieceExecutor:
+    """A lazily created, bounded process pool for piece fan-out.
+
+    Usable as a context manager; :meth:`shutdown` is idempotent.  With
+    ``jobs=1`` the executor never creates a pool and :meth:`submit`
+    refuses work — callers must take their serial path instead (the
+    ``jobs=1`` contract is "no pool spawn", not "a pool of one").
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def pool_started(self) -> bool:
+        """True once a worker pool has actually been created."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self.jobs <= 1:
+            raise RuntimeError(
+                "PieceExecutor(jobs=1) must not spawn a pool; "
+                "take the serial path instead"
+            )
+        if self._pool is None:
+            context = _pool_context()
+            if context is not None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=context
+                )
+            else:  # pragma: no cover - platforms without fork
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Submit one piece to the pool (created on first use)."""
+        return self._ensure_pool().submit(fn, *args)
+
+    def map_indexed(
+        self, fn: Callable[[Any], Any], payloads: List[Any]
+    ) -> List["Future[Any]"]:
+        """Submit ``payloads`` in order; return their futures, in order."""
+        return [self.submit(fn, payload) for payload in payloads]
+
+    def shutdown(self) -> None:
+        """Tear the pool down (no-op when none was ever created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "PieceExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

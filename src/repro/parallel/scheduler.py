@@ -1,0 +1,61 @@
+"""Largest-piece-first scheduling for per-round piece fan-out.
+
+A ConnGraph-BS round is a barrier: round ``k+1`` consumes the pieces
+round ``k`` produced, so the round's makespan is the finish time of its
+slowest worker.  Piece sizes are heavily skewed (one giant core plus a
+tail of small fragments is the common shape), which makes submission
+order matter: longest-processing-time-first is the classical 4/3-
+approximation for minimizing makespan on identical machines, whereas a
+small-first order can strand the giant piece on an otherwise drained
+pool.
+
+The parent also splits pieces into a *pooled* set (shipped to workers,
+largest first) and an *inline* set (below the pickling-pays-off
+threshold, run in the parent while the pool works).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+def largest_first(sizes: Sequence[int]) -> List[int]:
+    """Indices of ``sizes`` in descending size order (stable on ties)."""
+    return sorted(range(len(sizes)), key=lambda i: (-sizes[i], i))
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """Submission plan for one round's pieces.
+
+    ``pooled`` is in descending size order (submit in this order);
+    ``inline`` holds the below-threshold piece indices, largest first,
+    to be executed in the parent while pool results are in flight.
+    """
+
+    pooled: List[int]
+    inline: List[int]
+
+    @property
+    def uses_pool(self) -> bool:
+        return bool(self.pooled)
+
+
+def plan_round(sizes: Sequence[int], min_piece_size: int, jobs: int) -> RoundPlan:
+    """Split a round's pieces into pooled and inline work.
+
+    ``sizes`` is the per-piece edge count.  With one piece above the
+    threshold there is still nothing to overlap against unless other
+    pieces exist, but shipping it would only add IPC latency when it is
+    the *only* piece — so a single-piece round always runs inline.
+    """
+    order = largest_first(sizes)
+    if jobs <= 1 or len(order) < 2:
+        return RoundPlan(pooled=[], inline=order)
+    pooled = [i for i in order if sizes[i] >= min_piece_size]
+    inline = [i for i in order if sizes[i] < min_piece_size]
+    if len(pooled) < 2 and not inline:
+        # Nothing to overlap with: run the lone big piece in-process.
+        return RoundPlan(pooled=[], inline=order)
+    return RoundPlan(pooled=pooled, inline=inline)

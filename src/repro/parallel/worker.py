@@ -1,0 +1,116 @@
+"""The per-piece KECC worker and its flat-array payload format.
+
+A :class:`PiecePayload` carries one connected piece of a ConnGraph-BS
+round as three flat ``int64`` numpy arrays — the piece's vertex ids and
+the two endpoint columns of its edge list — plus the round's ``k`` and
+the engine selection.  Flat arrays pickle as a single contiguous buffer
+each, so shipping a piece to a worker process costs one memcpy per
+array instead of one object per edge.
+
+:func:`kecc_piece_worker` is the function executed in the pool: it
+localizes the edge endpoints, runs the selected KECC engine, and
+returns the partition as an *owner-label* array aligned with the
+payload's vertex order (``owner[i]`` is the group id of
+``vertices[i]``).  A label array is both compact on the return trip and
+exactly the shape the parent needs to assign sc values (Lemma 5.1 only
+asks whether an edge's endpoints share a group).
+
+The worker runs the same engine code as the serial path on the same
+localized input, and k-edge connected components are uniquely
+determined by the graph, so parallel and serial builds produce
+identical sc maps by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.graph import edge_key
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class PiecePayload:
+    """One piece of one round, encoded as picklable flat arrays."""
+
+    vertices: np.ndarray  # int64, piece vertex ids (original graph ids)
+    us: np.ndarray        # int64, edge endpoint column (original ids)
+    vs: np.ndarray        # int64, edge endpoint column (original ids)
+    k: int
+    engine: str
+    engine_kwargs: Dict[str, Any]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.us)
+
+
+def encode_piece(
+    vertices: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    k: int,
+    engine: str,
+    engine_kwargs: Dict[str, Any],
+) -> PiecePayload:
+    """Wrap one piece's arrays as a payload (no copies taken)."""
+    return PiecePayload(vertices, us, vs, k, engine, engine_kwargs)
+
+
+def localize_edges(
+    vertices: np.ndarray, us: np.ndarray, vs: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map global endpoint columns to positions within ``vertices``.
+
+    ``vertices`` holds distinct ids in arbitrary order; the result maps
+    each endpoint to its *index in that order* (the localization the
+    serial path builds with a dict, done with two sorted lookups).
+    """
+    sorter = np.argsort(vertices, kind="stable")
+    sorted_vertices = vertices[sorter]
+    lu = sorter[np.searchsorted(sorted_vertices, us)]
+    lv = sorter[np.searchsorted(sorted_vertices, vs)]
+    return lu, lv
+
+
+def kecc_piece_worker(payload: PiecePayload) -> np.ndarray:
+    """Run the KECC engine on one piece; return owner labels.
+
+    Executed inside a pool worker (or inline for small pieces / tests).
+    ``result[i]`` is the k-ecc group id of ``payload.vertices[i]``.
+    """
+    from repro.kecc import get_engine
+
+    engine = get_engine(payload.engine)
+    lu, lv = localize_edges(payload.vertices, payload.us, payload.vs)
+    local_edges: List[Edge] = list(zip(lu.tolist(), lv.tolist()))
+    groups = engine(
+        payload.num_vertices, local_edges, payload.k, **payload.engine_kwargs
+    )
+    owner = np.empty(payload.num_vertices, dtype=np.int64)
+    for gid, group in enumerate(groups):
+        owner[np.asarray(group, dtype=np.int64)] = gid
+    return owner
+
+
+def piece_arrays_from_edges(
+    vertices: Sequence[int], piece_edges: Sequence[Edge]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Convert a (vertex list, edge list) piece to flat int64 arrays.
+
+    Edges come back canonicalized through :func:`edge_key` so downstream
+    sc-map keys cannot depend on the caller's endpoint order.
+    """
+    vert_arr = np.asarray(list(vertices), dtype=np.int64)
+    ne = len(piece_edges)
+    us = np.fromiter((edge_key(u, v)[0] for u, v in piece_edges), np.int64, count=ne)
+    vs = np.fromiter((edge_key(u, v)[1] for u, v in piece_edges), np.int64, count=ne)
+    return vert_arr, us, vs

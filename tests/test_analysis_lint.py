@@ -156,6 +156,34 @@ CORPUS = [
         ),
         3,
     ),
+    (
+        "multiprocessing-outside-parallel",
+        "index/pool_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            import multiprocessing
+
+            def fanout(fn, items):
+                with multiprocessing.Pool() as pool:
+                    return pool.map(fn, items)
+            """
+        ),
+        3,
+    ),
+    (
+        "multiprocessing-outside-parallel",
+        "core/futures_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def fanout(fn, items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(fn, items))
+            """
+        ),
+        3,
+    ),
 ]
 
 
@@ -197,6 +225,20 @@ class TestRuleDetails:
         # ... inside kecc/ it does.
         findings = lint_source(source, path="kecc/snippet.py")
         assert [f.rule for f in findings] == ["no-recursion"]
+
+    def test_multiprocessing_allowed_inside_parallel(self):
+        source = FUTURE + (
+            "import multiprocessing\n"
+            "from concurrent.futures import ProcessPoolExecutor\n"
+        )
+        # repro.parallel is the sanctioned home of process pools ...
+        assert lint_source(source, path="parallel/executor.py") == []
+        # ... everywhere else both import forms are rejected.
+        findings = lint_source(source, path="index/snippet.py")
+        assert [f.rule for f in findings] == [
+            "multiprocessing-outside-parallel",
+            "multiprocessing-outside-parallel",
+        ]
 
     def test_pop_zero_outside_loop_not_flagged(self):
         source = FUTURE + "def f(xs):\n    return xs.pop(0)\n"
