@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Bench smoke: the serving layer must be fast, cached, and correct.
+
+Runs the threaded serving benchmark twice (cache-disabled vs the full
+generation-aware cache), writes the ``BENCH_serve.json`` baseline
+artifact, and asserts
+
+- every sampled answer served after the run matches an index rebuilt
+  from scratch on the final published edge set (always), and
+- both configurations actually answered their whole workload and ended
+  at staleness 0 (all updates published).
+
+Throughput numbers (and the cached-vs-uncached speedup) are reported
+but not gated — wall-clock on shared CI boxes is advisory.
+
+Exit status 0 = pass, 1 = a required assertion failed.  Used by the CI
+``serve`` job, which uploads BENCH_serve.json as an artifact; run
+locally as ``python scripts/bench_serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.serve_bench import BENCH_JSON, run_serve_bench, write_bench_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=BENCH_JSON,
+                        help="where to write the JSON baseline")
+    parser.add_argument("-n", type=int, default=None,
+                        help="workload size (vertices); default bench size")
+    parser.add_argument("--readers", type=int, default=None,
+                        help="concurrent reader threads")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="queries per reader")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.readers is not None:
+        kwargs["readers"] = args.readers
+    if args.queries is not None:
+        kwargs["queries"] = args.queries
+    result = run_serve_bench(**kwargs)
+    write_bench_json(args.output, result)
+
+    workload = result["workload"]
+    cached = result["cached"]
+    uncached = result["uncached"]
+    print(f"workload: ssca n={workload['n']} m={workload['m']} "
+          f"readers={workload['readers']} "
+          f"queries/reader={workload['queries_per_reader']}")
+    print(f"uncached {uncached['throughput_qps']:.0f} qps "
+          f"({uncached['queries_answered']} answered, "
+          f"{uncached['query_errors']} errors)")
+    print(f"cached   {cached['throughput_qps']:.0f} qps "
+          f"({cached['queries_answered']} answered, "
+          f"hits={cached['serving_stats']['cache']['hits']}, "
+          f"carried={cached['serving_stats']['cache']['carried_over']})")
+    print(f"speedup  {result['cached_speedup']:.2f}x (advisory)")
+    print(f"baseline written to {args.output}")
+
+    ok = True
+    if not result["verified_against_rebuild"]:
+        print("FAIL: served answers diverge from a from-scratch rebuild",
+              file=sys.stderr)
+        ok = False
+    expected = workload["readers"] * workload["queries_per_reader"]
+    for name, run in (("uncached", uncached), ("cached", cached)):
+        answered = run["queries_answered"] + run["query_errors"]
+        if answered < expected // 2:
+            print(f"FAIL: {name} run answered {answered} of {expected}",
+                  file=sys.stderr)
+            ok = False
+        if run["serving_stats"]["staleness"] != 0:
+            print(f"FAIL: {name} run ended stale "
+                  f"(staleness={run['serving_stats']['staleness']})",
+                  file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

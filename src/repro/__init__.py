@@ -29,17 +29,21 @@ from __future__ import annotations
 from repro.core.queries import SMCCIndex, SMCCInterval, SMCCResult, VerifyReport
 from repro.graph.labels import LabeledSMCCIndex
 from repro.errors import (
+    DeadlineExceededError,
     DisconnectedQueryError,
     EdgeNotFoundError,
     EmptyQueryError,
     GraphError,
+    IndexPersistenceError,
     IndexStateError,
     InfeasibleSizeConstraintError,
     QueryError,
     ReproError,
+    ServeError,
     VertexNotFoundError,
 )
 from repro.graph.graph import Graph
+from repro.serve import ServeConfig, ServingIndex
 
 __version__ = "1.0.0"
 
@@ -59,5 +63,10 @@ __all__ = [
     "VertexNotFoundError",
     "EdgeNotFoundError",
     "IndexStateError",
+    "IndexPersistenceError",
+    "ServeError",
+    "DeadlineExceededError",
+    "ServingIndex",
+    "ServeConfig",
     "__version__",
 ]

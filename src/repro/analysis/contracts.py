@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import functools
 import os
-from typing import Any, Callable, TypeVar, Union
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar, Union
 
 from repro.errors import ContractViolationError, InternalInvariantError
 
@@ -60,6 +61,24 @@ def set_invariants_enabled(value: bool) -> bool:
     return previous
 
 
+@contextmanager
+def _stats_paused() -> Iterator[None]:
+    """Suspend per-query work counting while a contract check runs.
+
+    Contract recomputation is verification, not query work: a lemma
+    check that re-walks the whole tree must not inflate the
+    output-sensitivity counters of the query it certifies.
+    """
+    from repro.obs import runtime
+
+    saved = runtime.ACTIVE_STATS
+    runtime.ACTIVE_STATS = None
+    try:
+        yield
+    finally:
+        runtime.ACTIVE_STATS = saved
+
+
 def require(condition: bool, message: str) -> None:
     """Always-on internal guard (the ``-O``-proof ``assert``).
 
@@ -86,7 +105,8 @@ def invariant(
     """
     if not _enabled:
         return
-    ok = check() if callable(check) else check
+    with _stats_paused():
+        ok = check() if callable(check) else check
     if not ok:
         text = detail() if callable(detail) else detail
         raise ContractViolationError(name, text or "invariant check returned False")
@@ -110,10 +130,13 @@ def postcondition(
         @functools.wraps(func)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             result = func(*args, **kwargs)
-            if _enabled and not check(result, *args, **kwargs):
-                raise ContractViolationError(
-                    name, f"postcondition of {func.__qualname__} failed"
-                )
+            if _enabled:
+                with _stats_paused():
+                    ok = check(result, *args, **kwargs)
+                if not ok:
+                    raise ContractViolationError(
+                        name, f"postcondition of {func.__qualname__} failed"
+                    )
             return result
 
         wrapper.__contract__ = name  # type: ignore[attr-defined]

@@ -511,3 +511,43 @@ class MultiprocessingOutsideParallelRule(Rule):
                         "repro.parallel; request workers through "
                         "repro.parallel.PieceExecutor",
                     )
+
+
+@register
+class ThreadingOutsideServeRule(Rule):
+    id = "threading-outside-serve"
+    description = (
+        "threading imported outside repro.serve; lock discipline and "
+        "snapshot publication ordering live there — serve concurrent "
+        "reads through repro.serve.ServingIndex"
+    )
+
+    _FORBIDDEN_ROOTS = frozenset({"threading", "_thread"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # repro.serve is the one sanctioned home of threads and locks.
+        return "serve" not in ctx.package_parts
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root in self._FORBIDDEN_ROOTS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` outside repro.serve; "
+                            "concurrency belongs to "
+                            "repro.serve.ServingIndex",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                root = node.module.split(".", 1)[0]
+                if root in self._FORBIDDEN_ROOTS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`from {node.module} import ...` outside "
+                        "repro.serve; concurrency belongs to "
+                        "repro.serve.ServingIndex",
+                    )

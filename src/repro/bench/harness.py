@@ -516,6 +516,13 @@ def _build_bench(profile="quick") -> Table:
     return build_bench(profile)
 
 
+def _serve_bench(profile="quick") -> Table:
+    """Concurrent serving throughput (emits BENCH_serve.json)."""
+    from repro.bench.serve_bench import serve_bench
+
+    return serve_bench(profile)
+
+
 EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "table1_table2": table1_table2,
     "table3": table3,
@@ -531,6 +538,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "table11": table11,
     "ablations": ablations,
     "build_bench": _build_bench,
+    "serve_bench": _serve_bench,
 }
 
 

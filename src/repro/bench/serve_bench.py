@@ -1,0 +1,182 @@
+"""Serving-throughput benchmark: the repro.serve layer under load.
+
+Not one of the paper's experiments — this is the repo's own baseline
+for the concurrent query-serving subsystem.  :func:`run_serve_bench`
+builds a :class:`~repro.serve.serving.ServingIndex` over an SSCA-style
+community graph and drives it with the threaded workload of
+:func:`~repro.serve.workload.run_serve_workload` twice — once with the
+result cache disabled-in-effect (capacity 1, wholesale invalidation)
+and once with the full generation-aware cache — so the artifact records
+both raw snapshot throughput and what caching buys on a repeat-heavy
+stream.  After the run every served generation is gone; correctness is
+asserted by replaying a query sample against an index rebuilt from
+scratch on the final published edge set.
+
+:func:`write_bench_json` lands the record in ``BENCH_serve.json``, the
+artifact the CI serve job uploads and ``scripts/bench_serve_smoke.py``
+asserts against.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Dict, Optional
+
+from repro.bench.reporting import Table
+from repro.core.queries import SMCCIndex
+from repro.errors import DisconnectedQueryError
+from repro.graph.generators import ssca_graph
+from repro.graph.graph import Graph
+from repro.serve import (
+    ServeConfig,
+    ServeWorkloadSpec,
+    ServingIndex,
+    run_serve_workload,
+)
+
+#: default output artifact name (uploaded by the CI serve job)
+BENCH_JSON = "BENCH_serve.json"
+
+DEFAULT_N = 3000
+DEFAULT_SEED = 42
+DEFAULT_READERS = 4
+DEFAULT_QUERIES = 400
+
+#: queries replayed against the from-scratch rebuild after the run
+VERIFY_SAMPLE = 200
+
+
+def _workload_spec(readers: int, queries: int, seed: int) -> ServeWorkloadSpec:
+    return ServeWorkloadSpec(
+        readers=readers,
+        queries_per_reader=queries,
+        query_size=3,
+        smcc_fraction=0.2,
+        batch_size=8,
+        # Shared pool -> readers re-ask the same sets, so the cached
+        # run actually measures the cache rather than random misses.
+        query_pool=64,
+        updates=20,
+        publish_every=5,
+        seed=seed,
+    )
+
+
+def _verify_against_rebuild(serving: ServingIndex, seed: int) -> bool:
+    """Replay a query sample against a from-scratch rebuild.
+
+    The final workload publish leaves staleness at 0, so the published
+    snapshot's edge log is the live graph; an index rebuilt on it must
+    agree with the served answers on every sampled query.
+    """
+    snap = serving.snapshot()
+    graph = Graph(snap.num_vertices)
+    for u, v in snap.edges:
+        graph.add_edge(u, v)
+    rebuilt = SMCCIndex.build(graph)
+    rng = random.Random(seed * 31 + 1)
+    for _ in range(VERIFY_SAMPLE):
+        q = rng.sample(range(snap.num_vertices), 3)
+        try:
+            expected: object = rebuilt.steiner_connectivity(q)
+        except DisconnectedQueryError:
+            expected = "disconnected"
+        try:
+            got: object = serving.sc(q)
+        except DisconnectedQueryError:
+            got = "disconnected"
+        if got != expected:
+            return False
+    return True
+
+
+def run_serve_bench(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    readers: int = DEFAULT_READERS,
+    queries: int = DEFAULT_QUERIES,
+) -> Dict[str, Any]:
+    """Measure serving throughput with and without the result cache.
+
+    Returns a JSON-serializable record.  ``cached`` and ``uncached``
+    each carry the full workload result (throughput, cache stats,
+    generation counts); ``verified_against_rebuild`` is the correctness
+    bit the smoke script enforces.
+    """
+    graph = ssca_graph(n, seed=seed)
+    spec = _workload_spec(readers, queries, seed)
+
+    uncached_serving = ServingIndex.build(
+        graph.copy(),
+        config=ServeConfig(cache_capacity=1, invalidation="wholesale"),
+    )
+    uncached = run_serve_workload(uncached_serving, spec)
+
+    cached_serving = ServingIndex.build(
+        graph.copy(),
+        config=ServeConfig(cache_capacity=8192, invalidation="region"),
+    )
+    cached = run_serve_workload(cached_serving, spec)
+
+    cached_qps = cached["throughput_qps"] or 0.0
+    uncached_qps = uncached["throughput_qps"] or 0.0
+    return {
+        "bench": "serve",
+        "workload": {
+            "generator": "ssca",
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "seed": seed,
+            "readers": readers,
+            "queries_per_reader": queries,
+            "updates": spec.updates,
+            "publish_every": spec.publish_every,
+            "batch_size": spec.batch_size,
+            "query_pool": spec.query_pool,
+        },
+        "uncached": uncached,
+        "cached": cached,
+        "cached_speedup": (cached_qps / uncached_qps) if uncached_qps else 0.0,
+        "verified_against_rebuild": _verify_against_rebuild(
+            cached_serving, seed
+        ),
+    }
+
+
+def write_bench_json(
+    path: str = BENCH_JSON, result: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Run the bench (unless ``result`` is given) and write the artifact."""
+    if result is None:
+        result = run_serve_bench()
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def serve_bench(profile: str = "quick") -> Table:
+    """Harness entry point: serving throughput, cached vs uncached.
+
+    Registered as ``serve_bench`` in the experiment registry; also
+    emits :data:`BENCH_JSON` into the working directory as a side
+    effect so ``repro bench serve_bench`` doubles as the baseline
+    generator.
+    """
+    result = write_bench_json(result=run_serve_bench())
+    table = Table(
+        "Serve bench: threaded query throughput (queries/second)",
+        ["Workload", "readers", "uncached qps", "cached qps",
+         "speedup", "verified"],
+    )
+    workload = result["workload"]
+    table.add_row(
+        f"ssca n={workload['n']} m={workload['m']}",
+        workload["readers"],
+        result["uncached"]["throughput_qps"],
+        result["cached"]["throughput_qps"],
+        result["cached_speedup"],
+        result["verified_against_rebuild"],
+    )
+    return table

@@ -9,6 +9,7 @@ query     run smcc / sc / smcc-l queries against a saved index
 update    apply edge insertions/deletions to a saved index
 verify    integrity-check a saved index (fsck)
 obs       run a workload with observability on; dump the metrics registry
+serve     run a threaded serving workload (readers vs writer) on an index
 bench     run the paper-evaluation harness experiments
 
 Examples
@@ -20,6 +21,7 @@ Examples
     python -m repro query index_dir --smcc-l 1 2 3 --size-bound 50
     python -m repro update index_dir --insert 5 99 --delete 1 2
     python -m repro obs index_dir --queries 100 --format prometheus
+    python -m repro serve index_dir --readers 4 --queries 500 --obs
     python -m repro bench table3 figure5
 """
 
@@ -247,6 +249,51 @@ def _cmd_obs(args) -> int:
         obs_runtime.REGISTRY = previous
 
 
+def _cmd_serve(args) -> int:
+    """Run a threaded serving workload against an index; emit one JSON doc."""
+    from repro.serve import ServeConfig, ServeWorkloadSpec, ServingIndex, run_serve_workload
+
+    previous = obs_runtime.REGISTRY
+    registry = obs_runtime.enable() if args.obs else obs_runtime.REGISTRY
+    try:
+        index = SMCCIndex.load(args.index)
+        config = ServeConfig(
+            cache_capacity=args.cache_capacity,
+            invalidation=args.invalidation,
+            default_timeout=args.timeout,
+            default_max_staleness=args.max_staleness,
+        )
+        serving = ServingIndex(index, config=config)
+        spec = ServeWorkloadSpec(
+            readers=args.readers,
+            queries_per_reader=args.queries,
+            query_size=args.query_size,
+            smcc_fraction=args.smcc_fraction,
+            batch_size=args.batch_size,
+            query_pool=args.query_pool,
+            updates=args.updates,
+            publish_every=args.publish_every,
+            seed=args.seed,
+        )
+        result = run_serve_workload(serving, spec)
+        if args.obs and registry is not None:
+            snapshot = registry.snapshot()
+            result["metrics"] = {
+                "counters": {
+                    k: v for k, v in snapshot["counters"].items()
+                    if k.startswith("serve.")
+                },
+                "gauges": {
+                    k: v for k, v in snapshot["gauges"].items()
+                    if k.startswith("serve.")
+                },
+            }
+        print(json.dumps(result, indent=2))
+        return 0
+    finally:
+        obs_runtime.REGISTRY = previous
+
+
 def _cmd_bench(args) -> int:
     from repro.bench.harness import EXPERIMENTS
 
@@ -333,6 +380,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--format", choices=["json", "prometheus"], default="json")
     p.set_defaults(func=_cmd_obs)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a threaded serving workload (readers vs writer) on an index",
+    )
+    p.add_argument("index", help="index directory from `build`")
+    p.add_argument("--readers", type=int, default=4,
+                   help="concurrent reader threads")
+    p.add_argument("--queries", type=int, default=500,
+                   help="queries per reader (the --workload size)")
+    p.add_argument("--query-size", type=int, default=3)
+    p.add_argument("--smcc-fraction", type=float, default=0.25,
+                   help="fraction of reader ops that are SMCC queries")
+    p.add_argument("--batch-size", type=int, default=0,
+                   help=">0 groups sc queries into batches of this size")
+    p.add_argument("--query-pool", type=int, default=0,
+                   help=">0 draws queries from a shared pool of this many "
+                        "sets (repeat-heavy stream; exercises the cache)")
+    p.add_argument("--updates", type=int, default=20,
+                   help="writer updates applied while readers run")
+    p.add_argument("--publish-every", type=int, default=5,
+                   help="publish a new snapshot after this many updates")
+    p.add_argument("--cache-capacity", type=int, default=4096)
+    p.add_argument("--invalidation", choices=["region", "wholesale"],
+                   default="region")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-query deadline in seconds")
+    p.add_argument("--max-staleness", type=int, default=None,
+                   help="updates an answer may lag; beyond it queries "
+                        "degrade to the direct online engine")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--obs", action="store_true",
+                   help="include the serve.* metrics in the JSON output")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="run paper-evaluation experiments")
     p.add_argument("experiments", nargs="*", help="e.g. table3 figure5 (default: all)")

@@ -66,6 +66,43 @@ class IndexStateError(ReproError):
     """Raised when an index is used before it is built or after corruption."""
 
 
+class IndexPersistenceError(ReproError):
+    """Raised when a persisted index artifact cannot be loaded.
+
+    Wraps every low-level failure mode of the ``.npz`` archives —
+    missing file, truncated or corrupted archive, missing field, or
+    structurally invalid contents — so callers handle one exception
+    type instead of the zoo of ``KeyError`` / ``ValueError`` /
+    ``zipfile.BadZipFile`` numpy would otherwise leak.
+    """
+
+    def __init__(self, path: object, detail: str) -> None:
+        super().__init__(f"cannot load index artifact {str(path)!r}: {detail}")
+        self.path = path
+        self.detail = detail
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a query's deadline expires before an answer is ready.
+
+    Admission control (see :class:`repro.serve.ServingIndex`) checks the
+    deadline when the query is admitted and again before any expensive
+    degraded-path computation; the error carries how late the query was.
+    """
+
+    def __init__(self, timeout_seconds: float, overshoot_seconds: float) -> None:
+        super().__init__(
+            f"query deadline of {timeout_seconds:.6g}s exceeded "
+            f"(overshot by {overshoot_seconds:.6g}s)"
+        )
+        self.timeout_seconds = timeout_seconds
+        self.overshoot_seconds = overshoot_seconds
+
+
 class InternalInvariantError(ReproError):
     """Raised when an internal algorithmic invariant is violated.
 

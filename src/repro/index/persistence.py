@@ -11,15 +11,100 @@ reports the in-memory array footprints used by the Table 8 bench.
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple, Union
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple, Union
 
 import numpy as np
 
+from repro.errors import IndexPersistenceError
 from repro.graph.graph import Graph
 from repro.index.connectivity_graph import ConnectivityGraph
 from repro.index.mst import MSTIndex
 
 PathLike = Union[str, os.PathLike]
+
+
+@contextmanager
+def _load_npz(path: PathLike, fields: Tuple[str, ...]) -> Iterator[Dict[str, np.ndarray]]:
+    """Open a ``.npz`` archive defensively, extracting ``fields``.
+
+    Numpy leaks a different exception for every failure mode — missing
+    file (``FileNotFoundError``), truncated or corrupted archive
+    (``zipfile.BadZipFile`` / ``zlib.error`` / ``EOFError`` /
+    ``OSError``), non-archive content (``ValueError``), and missing
+    fields (``KeyError``).  All of them surface here as one clean
+    :class:`~repro.errors.IndexPersistenceError` carrying the path.
+    """
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise IndexPersistenceError(path, "file does not exist") from None
+    except IndexPersistenceError:
+        raise
+    except Exception as exc:
+        raise IndexPersistenceError(
+            path, f"not a readable .npz archive ({exc})"
+        ) from exc
+    try:
+        extracted: Dict[str, np.ndarray] = {}
+        for field in fields:
+            try:
+                extracted[field] = data[field]
+            except KeyError:
+                raise IndexPersistenceError(
+                    path, f"archive is missing required field {field!r}"
+                ) from None
+            except IndexPersistenceError:
+                raise
+            except Exception as exc:
+                # Decompression of a truncated/corrupted member fails
+                # lazily, at first access.
+                raise IndexPersistenceError(
+                    path, f"field {field!r} is unreadable ({exc})"
+                ) from exc
+        yield extracted
+    finally:
+        data.close()
+
+
+def _check_edge_rows(
+    path: PathLike, name: str, rows: np.ndarray, num_vertices: int, min_weight: int
+) -> np.ndarray:
+    """Validate a ``(u, v, w)`` edge array against the vertex universe."""
+    if rows.ndim != 2 or rows.shape[1] != 3:
+        raise IndexPersistenceError(
+            path, f"field {name!r} must be an (n, 3) edge array, "
+            f"got shape {rows.shape}"
+        )
+    if not bool(np.issubdtype(rows.dtype, np.integer)):
+        raise IndexPersistenceError(
+            path, f"field {name!r} must be integer-typed, got {rows.dtype}"
+        )
+    if rows.size:
+        endpoints = rows[:, :2]
+        if endpoints.min() < 0 or endpoints.max() >= num_vertices:
+            raise IndexPersistenceError(
+                path, f"field {name!r} references vertices outside "
+                f"0..{num_vertices - 1}"
+            )
+        if rows[:, 2].min() < min_weight:
+            raise IndexPersistenceError(
+                path, f"field {name!r} carries a weight < {min_weight} "
+                "(steiner-connectivities are positive integers)"
+            )
+    return rows
+
+
+def _scalar_num_vertices(path: PathLike, value: np.ndarray) -> int:
+    try:
+        n = int(value)
+    except (TypeError, ValueError) as exc:
+        raise IndexPersistenceError(
+            path, f"field 'num_vertices' is not a scalar ({exc})"
+        ) from exc
+    if n < 0:
+        raise IndexPersistenceError(path, f"num_vertices is negative ({n})")
+    return n
 
 
 # ----------------------------------------------------------------------
@@ -38,13 +123,32 @@ def save_mst(mst: MSTIndex, path: PathLike) -> None:
 
 
 def load_mst(path: PathLike) -> MSTIndex:
-    """Load an MST index saved by :func:`save_mst`."""
-    with np.load(path) as data:
-        n = int(data["num_vertices"])
-        tree = data["tree"]
-        non_tree = data["non_tree"]
+    """Load an MST index saved by :func:`save_mst`.
+
+    Raises :class:`~repro.errors.IndexPersistenceError` on any damaged
+    artifact: missing file, truncated/corrupted archive, missing field,
+    or structurally invalid contents (edge endpoints outside the vertex
+    universe, non-positive weights, a tree edge set that is no forest).
+    """
+    with _load_npz(path, ("num_vertices", "tree", "non_tree")) as data:
+        n = _scalar_num_vertices(path, data["num_vertices"])
+        tree = _check_edge_rows(path, "tree", data["tree"], n, min_weight=1)
+        non_tree = _check_edge_rows(
+            path, "non_tree", data["non_tree"], n, min_weight=1
+        )
+        tree = tree.copy()
+        non_tree = non_tree.copy()
+    if tree.shape[0] >= max(n, 1):
+        raise IndexPersistenceError(
+            path, f"{tree.shape[0]} tree edges cannot form a forest over "
+            f"{n} vertices"
+        )
     mst = MSTIndex(n)
     for u, v, w in tree.tolist():
+        if mst.has_tree_edge(u, v) or u == v:
+            raise IndexPersistenceError(
+                path, f"duplicate or degenerate tree edge ({u}, {v})"
+            )
         mst.add_tree_edge(u, v, w)
     for u, v, w in non_tree.tolist():
         mst.non_tree.add(u, v, w)
@@ -79,17 +183,32 @@ def save_connectivity_graph(conn: ConnectivityGraph, path: PathLike) -> None:
 
 
 def load_connectivity_graph(path: PathLike) -> ConnectivityGraph:
-    """Load a connectivity graph saved by :func:`save_connectivity_graph`."""
-    with np.load(path) as data:
-        n = int(data["num_vertices"])
-        rows = data["edges"]
+    """Load a connectivity graph saved by :func:`save_connectivity_graph`.
+
+    Raises :class:`~repro.errors.IndexPersistenceError` on any damaged
+    artifact instead of leaking numpy / zipfile / graph-layer errors.
+    """
+    with _load_npz(path, ("num_vertices", "edges")) as data:
+        n = _scalar_num_vertices(path, data["num_vertices"])
+        rows = _check_edge_rows(path, "edges", data["edges"], n, min_weight=1)
+        rows = rows.copy()
     graph = Graph(n)
     sc: Dict[Tuple[int, int], int] = {}
     for u, v, w in rows.tolist():
-        graph.add_edge(u, v)
+        try:
+            graph.add_edge(u, v)
+        except Exception as exc:
+            raise IndexPersistenceError(
+                path, f"invalid edge ({u}, {v}): {exc}"
+            ) from exc
         sc[(u, v) if u < v else (v, u)] = w
     conn = ConnectivityGraph(graph, sc)
-    conn.validate()
+    try:
+        conn.validate()
+    except Exception as exc:
+        raise IndexPersistenceError(
+            path, f"connectivity graph fails validation: {exc}"
+        ) from exc
     return conn
 
 

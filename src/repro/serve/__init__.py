@@ -1,0 +1,51 @@
+"""repro.serve — concurrent query serving with snapshot isolation.
+
+The serving layer turns the single-threaded, mutable
+:class:`~repro.core.queries.SMCCIndex` into a read-dominated service:
+
+- :class:`IndexSnapshot` / :class:`SnapshotPublisher` — immutable index
+  generations published atomically; N reader threads, zero read locks
+  on the hot path;
+- :class:`QueryCache` — a generation-aware LRU with per-region
+  invalidation on publish;
+- :func:`plan_batch` / :func:`execute_batch` — batched sc evaluation
+  deduplicating shared LCA probes;
+- :class:`ServingIndex` — the facade tying those together with
+  per-query deadlines and staleness-triggered degradation to the
+  direct online engine;
+- :func:`run_serve_workload` — the threaded workload driver behind
+  ``repro serve --workload`` and ``BENCH_serve.json``.
+
+See ``docs/SERVING.md`` for the consistency model and the ``serve.*``
+metrics table.
+
+This package is the one sanctioned home of ``threading`` in the
+library (enforced by the ``threading-outside-serve`` lint rule): lock
+discipline and publication ordering are easy to get wrong, so they
+live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from repro.serve.cache import CacheEntry, QueryCache, canonical_query
+from repro.serve.planner import BatchPlan, execute_batch, plan_batch
+from repro.serve.publisher import SnapshotPublisher
+from repro.serve.serving import ServeConfig, ServingIndex
+from repro.serve.snapshot import IndexSnapshot, capture_snapshot
+from repro.serve.workload import ServeWorkloadSpec, run_serve_workload
+
+__all__ = [
+    "BatchPlan",
+    "CacheEntry",
+    "IndexSnapshot",
+    "QueryCache",
+    "ServeConfig",
+    "ServeWorkloadSpec",
+    "ServingIndex",
+    "SnapshotPublisher",
+    "canonical_query",
+    "capture_snapshot",
+    "execute_batch",
+    "plan_batch",
+    "run_serve_workload",
+]

@@ -1,0 +1,171 @@
+"""Generation-aware LRU result cache for the serving layer.
+
+Query results are tiny (an integer, or a component descriptor) and the
+workload the paper targets is read-dominated, so caching pays for
+itself immediately — but only if staleness is impossible by
+construction.  Two mechanisms guarantee that:
+
+- every entry records the snapshot **generation** it was computed
+  against, and a lookup only hits when the requested generation
+  matches;
+- on publish the writer calls :meth:`QueryCache.advance` with the set
+  of vertices affected by the updates folded into the new generation.
+  Entries whose *touch set* (query vertices plus answer component) is
+  disjoint from the affected set are carried over to the new
+  generation — their answers are provably unchanged, because sc only
+  changes on edges inside the SMCC of the updated edge (Lemmas
+  5.2–5.4), and any membership change of a component must change the
+  sc of an edge incident to one of its vertices.  Entries that
+  intersect the affected region are dropped.  When the affected set is
+  unknown (or region tracking is disabled) the cache is invalidated
+  wholesale, which is always safe.
+
+The cache is a plain lock-guarded ``OrderedDict`` LRU: the serving
+layer's critical sections are a handful of dict operations, far cheaper
+than the queries they shortcut.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+__all__ = ["CacheEntry", "QueryCache", "canonical_query"]
+
+CacheKey = Tuple[str, Tuple[int, ...], Hashable]
+
+
+def canonical_query(kind: str, q: Tuple[int, ...], extra: Hashable = None) -> CacheKey:
+    """The cache key for a query: kind + sorted unique vertices + options.
+
+    Sorting makes ``sc([3, 1, 2])`` and ``sc([2, 3, 1, 3])`` share one
+    entry — sc and SMCC answers are set functions of the query.
+    """
+    return (kind, tuple(sorted(set(q))), extra)
+
+
+class CacheEntry:
+    """One cached answer plus the metadata needed for invalidation."""
+
+    __slots__ = ("value", "generation", "touch")
+
+    def __init__(
+        self, value: object, generation: int, touch: FrozenSet[int]
+    ) -> None:
+        self.value = value
+        self.generation = generation
+        #: vertices whose sc changes invalidate this answer (query
+        #: vertices plus the answer component); empty = always dropped
+        #: on publish rather than carried over
+        self.touch = touch
+
+
+class QueryCache:
+    """A thread-safe, generation-aware LRU mapping query keys to answers."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        # Counters (mirrored into the obs registry by the serving layer).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.carried_over = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey, generation: int) -> Optional[CacheEntry]:
+        """The entry for ``key`` at ``generation``, or None on a miss.
+
+        An entry from an older generation is treated as a miss and
+        dropped eagerly (it survived ``advance`` only if it was proven
+        unaffected, in which case its generation was bumped).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.generation != generation:
+                if entry is not None:
+                    del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: CacheKey,
+        value: object,
+        generation: int,
+        touch: FrozenSet[int] = frozenset(),
+    ) -> None:
+        """Insert/overwrite an answer computed against ``generation``."""
+        with self._lock:
+            self._entries[key] = CacheEntry(value, generation, touch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def advance(
+        self, new_generation: int, affected: Optional[FrozenSet[int]] = None
+    ) -> int:
+        """Invalidate for a newly published generation; returns drops.
+
+        ``affected=None`` means the affected region is unknown: drop
+        everything (wholesale).  Otherwise drop exactly the entries
+        whose touch set intersects ``affected`` and re-stamp the rest to
+        ``new_generation`` (their answers carry over unchanged).
+        """
+        with self._lock:
+            if affected is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self.invalidations += dropped
+                return dropped
+            dead = []
+            carried = 0
+            for key, entry in self._entries.items():
+                if not entry.touch or entry.touch & affected:
+                    dead.append(key)
+                else:
+                    entry.generation = new_generation
+                    carried += 1
+            for key in dead:
+                del self._entries[key]
+            self.invalidations += len(dead)
+            self.carried_over += carried
+            return len(dead)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "carried_over": self.carried_over,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryCache(size={len(self)}, capacity={self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

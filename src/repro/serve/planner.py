@@ -1,0 +1,111 @@
+"""Batch planning: deduplicate shared LCA probes across a query batch.
+
+SC-OPT (Algorithm 11) answers ``sc(q)`` as ``min_i w(LCA(v0, v_i))`` —
+one O(1) LCA probe per query vertex.  Real batches share structure
+heavily (hub vertices recur, queries overlap), so across a batch the
+same ``(v0, v_i)`` probe is often needed many times.  The planner
+canonicalizes every query (sorted unique vertices, so the anchor
+``v0 = min(q)`` is deterministic), collects the distinct probes of the
+whole batch, evaluates them in **one** vectorized
+:meth:`~repro.index.mst_star.MSTStar.sc_pairs_batch` gather, and folds
+each query's answer as the min over its probes.
+
+Answers are identical to per-query SC-OPT with one convention borrowed
+from ``sc_pairs_batch``: a query spanning several connected components
+answers 0 instead of raising, which keeps one bad query from poisoning
+a batch.  Callers that want the raising behavior filter zeros.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import EmptyQueryError
+from repro.serve.snapshot import IndexSnapshot
+
+__all__ = ["BatchPlan", "plan_batch", "execute_batch"]
+
+Probe = Tuple[int, int]
+
+
+class BatchPlan:
+    """The deduplicated probe schedule for one batch of sc queries."""
+
+    __slots__ = ("queries", "probes", "singletons", "probes_requested")
+
+    def __init__(
+        self,
+        queries: List[Tuple[int, ...]],
+        probes: List[Probe],
+        singletons: List[int],
+        probes_requested: int,
+    ) -> None:
+        #: canonicalized queries, aligned with the caller's batch
+        self.queries = queries
+        #: distinct ``(v0, v_i)`` probes across all multi-vertex queries
+        self.probes = probes
+        #: distinct vertices appearing as singleton queries
+        self.singletons = singletons
+        #: probe count a naive per-query evaluation would have issued
+        self.probes_requested = probes_requested
+
+    @property
+    def probes_saved(self) -> int:
+        """How many LCA probes deduplication eliminated."""
+        return self.probes_requested - len(self.probes)
+
+
+def plan_batch(queries: Sequence[Sequence[int]]) -> BatchPlan:
+    """Canonicalize ``queries`` and compute the distinct probe set."""
+    canonical: List[Tuple[int, ...]] = []
+    probe_set: Dict[Probe, None] = {}
+    singleton_set: Dict[int, None] = {}
+    requested = 0
+    for q in queries:
+        cq = tuple(sorted(set(q)))
+        if not cq:
+            raise EmptyQueryError("query vertex set is empty")
+        canonical.append(cq)
+        if len(cq) == 1:
+            singleton_set[cq[0]] = None
+            continue
+        v0 = cq[0]
+        for v in cq[1:]:
+            requested += 1
+            probe_set[(v0, v)] = None
+    return BatchPlan(
+        queries=canonical,
+        probes=list(probe_set),
+        singletons=list(singleton_set),
+        probes_requested=requested,
+    )
+
+
+def execute_batch(snapshot: IndexSnapshot, plan: BatchPlan) -> List[int]:
+    """Evaluate a plan against one snapshot; answers align with the batch.
+
+    Disconnected queries (and isolated singletons) answer 0.
+    """
+    probe_value: Dict[Probe, int] = {}
+    if plan.probes:
+        us = [p[0] for p in plan.probes]
+        vs = [p[1] for p in plan.probes]
+        values = snapshot.sc_pairs_batch(us, vs)
+        probe_value = dict(zip(plan.probes, values))
+    singleton_value: Dict[int, int] = {}
+    star = snapshot.star
+    for v in plan.singletons:
+        if not (0 <= v < star.num_leaves):
+            # Match the per-query path: unknown vertices are an error.
+            snapshot.steiner_connectivity([v])
+        parent = star.parents[v]
+        singleton_value[v] = star.weights[parent] if parent >= 0 else 0
+    answers: List[int] = []
+    for cq in plan.queries:
+        if len(cq) == 1:
+            answers.append(singleton_value[cq[0]])
+            continue
+        v0 = cq[0]
+        best = min(probe_value[(v0, v)] for v in cq[1:])
+        answers.append(best)
+    return answers

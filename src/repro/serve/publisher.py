@@ -1,0 +1,159 @@
+"""The writer: serialized index mutation + atomic snapshot publication.
+
+One :class:`SnapshotPublisher` owns the mutable index (an
+:class:`~repro.core.queries.SMCCIndex`, whose
+:class:`~repro.index.maintenance.IndexMaintainer` applies Section 5.2
+updates).  All mutation goes through the publisher's write lock;
+readers never touch the mutable index at all — they hold
+:class:`~repro.serve.snapshot.IndexSnapshot` references published here.
+
+Publication protocol:
+
+1. the writer applies updates under the lock, accumulating the
+   *affected vertex set* — every endpoint of an edge whose
+   steiner-connectivity changed (the maintainer reports exactly these,
+   per Observations I/II of the paper);
+2. ``publish()`` captures a frozen snapshot (still under the lock, so
+   it is transactionally consistent), bumps the generation, and swaps
+   the published reference — a single atomic store;
+3. the caller (the serving facade) feeds the affected set to the
+   result cache so unaffected entries carry over.
+
+Between publishes the published snapshot is *stale* by
+``staleness()`` updates; freshness-sensitive reads degrade to a direct
+online computation against the live graph (see
+:class:`~repro.serve.serving.ServingIndex`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.queries import SMCCIndex
+from repro.obs import runtime as _obs
+from repro.obs.spans import span
+from repro.serve.snapshot import IndexSnapshot, capture_snapshot
+
+__all__ = ["SnapshotPublisher"]
+
+
+class SnapshotPublisher:
+    """Serializes writers and publishes immutable snapshots atomically."""
+
+    def __init__(self, index: SMCCIndex) -> None:
+        self._index = index
+        #: reentrant: degraded direct reads nest under writer-side calls
+        self._lock = threading.RLock()
+        self._generation = 0
+        self._pending_updates = 0
+        #: vertices touched by sc changes since the last publish; None
+        #: once region tracking has been abandoned for this window
+        self._affected: Optional[Set[int]] = set()
+        self._snapshot = capture_snapshot(
+            index.conn_graph, index.mst, generation=0
+        )
+        self._publishing = False
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def snapshot(self) -> IndexSnapshot:
+        """The current published snapshot (atomic reference read)."""
+        return self._snapshot
+
+    @property
+    def generation(self) -> int:
+        return self._snapshot.generation
+
+    def staleness(self) -> int:
+        """Updates applied to the live index since the last publish."""
+        return self._pending_updates
+
+    @property
+    def publishing(self) -> bool:
+        """True while a capture/publish is in progress (mid-rebuild)."""
+        return self._publishing
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The write lock; degraded direct reads acquire it too."""
+        return self._lock
+
+    @property
+    def index(self) -> SMCCIndex:
+        """The live mutable index; only touch it while holding ``lock``."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Insert an edge into the live index (not yet published)."""
+        with self._lock:
+            changes = self._index.insert_edge(u, v)
+            self._note_changes(u, v, changes)
+            return changes
+
+    def delete_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Delete an edge from the live index (not yet published)."""
+        with self._lock:
+            changes = self._index.delete_edge(u, v)
+            self._note_changes(u, v, changes)
+            return changes
+
+    def _note_changes(
+        self, u: int, v: int, changes: List[Tuple[int, int, int]]
+    ) -> None:
+        self._pending_updates += 1
+        if self._affected is not None:
+            self._affected.add(u)
+            self._affected.add(v)
+            for a, b, _ in changes:
+                self._affected.add(a)
+                self._affected.add(b)
+
+    def abandon_region_tracking(self) -> None:
+        """Force the next publish to invalidate wholesale."""
+        with self._lock:
+            self._affected = None
+
+    def publish(self) -> Tuple[IndexSnapshot, Optional[FrozenSet[int]]]:
+        """Capture + atomically publish a new snapshot generation.
+
+        Returns ``(snapshot, affected)`` where ``affected`` is the
+        frozen set of vertices whose cached answers may be invalid
+        (``None`` means "unknown — invalidate everything").  Publishing
+        with no pending updates returns the current snapshot unchanged.
+        """
+        with self._lock:
+            if self._pending_updates == 0:
+                return self._snapshot, frozenset()
+            self._publishing = True
+            try:
+                with span("serve.publish") as sp:
+                    new_generation = self._generation + 1
+                    snapshot = capture_snapshot(
+                        self._index.conn_graph,
+                        self._index.mst,
+                        generation=new_generation,
+                    )
+                    sp.set("generation", new_generation)
+                    sp.set("pending_updates", self._pending_updates)
+                affected = (
+                    frozenset(self._affected)
+                    if self._affected is not None
+                    else None
+                )
+                self._generation = new_generation
+                self._pending_updates = 0
+                self._affected = set()
+                # The atomic store: readers see old or new, never a mix.
+                self._snapshot = snapshot
+            finally:
+                self._publishing = False
+        registry = _obs.REGISTRY
+        if registry is not None:
+            registry.counter("serve.publish.count").inc()
+            registry.gauge("serve.snapshot.generation").set(snapshot.generation)
+        return snapshot, affected

@@ -1,0 +1,168 @@
+"""Immutable index snapshots: the unit of isolation for concurrent reads.
+
+The mutable half of the system — ``Graph`` / ``ConnectivityGraph`` /
+``MSTIndex`` under :class:`~repro.index.maintenance.IndexMaintainer` —
+is never exposed to reader threads.  Instead the writer periodically
+*captures* an :class:`IndexSnapshot`: a frozen clone of the maximum
+spanning forest plus a fully built MST* (LCA tables included), stamped
+with a monotonically increasing generation number.  Publication is a
+single reference assignment, which CPython makes atomic, so a reader
+always sees either the old snapshot or the new one — never a
+half-updated index (the serving analogue of Lemma 4.4: every answer is
+derived from one consistent maximum spanning forest).
+
+Thread-safety contract:
+
+- every MST*-backed query (``steiner_connectivity``, ``sc_pair``,
+  ``sc_pairs_batch``, ``smcc``, ``smcc_interval``) touches only arrays
+  that are frozen at capture time, so any number of threads may call
+  them concurrently with no locking;
+- the MST-walk queries (``smcc_l``) reuse the epoch-marking scratch
+  arrays of :class:`~repro.index.mst.MSTIndex` and are serialized by a
+  per-snapshot lock (they are the rare path; the hot paths stay
+  lock-free).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.queries import SMCCResult
+from repro.index.connectivity_graph import ConnectivityGraph
+from repro.index.mst import MSTIndex
+from repro.index.mst_star import MSTStar, build_mst_star
+
+Edge = Tuple[int, int]
+
+__all__ = ["IndexSnapshot", "capture_snapshot"]
+
+
+class IndexSnapshot:
+    """A frozen, consistent view of the SMCC index at one generation.
+
+    Instances are created by :func:`capture_snapshot` (always under the
+    writer lock) and never mutated afterwards; readers may hold one for
+    as long as they like — answers stay internally consistent with the
+    generation's graph even while newer generations are published.
+    """
+
+    __slots__ = (
+        "generation",
+        "num_vertices",
+        "num_edges",
+        "edges",
+        "star",
+        "_mst",
+        "_mst_lock",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        num_vertices: int,
+        edges: Tuple[Edge, ...],
+        mst: MSTIndex,
+        star: MSTStar,
+    ) -> None:
+        self.generation = generation
+        self.num_vertices = num_vertices
+        self.num_edges = len(edges)
+        #: the graph's edge set at capture time (sorted ``(u, v)`` keys);
+        #: what a from-scratch rebuild of this generation must start from
+        self.edges = edges
+        #: the frozen MST* read structure (lock-free concurrent queries)
+        self.star = star
+        self._mst = mst
+        self._mst_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lock-free queries (MST*-backed; frozen arrays only)
+    # ------------------------------------------------------------------
+    def steiner_connectivity(self, q: Sequence[int]) -> int:
+        """``sc(q)`` in O(|q|) against this generation (SC-OPT)."""
+        return self.star.steiner_connectivity(q)
+
+    def sc_pair(self, u: int, v: int) -> int:
+        """``sc(u, v)`` in O(1) against this generation."""
+        return self.star.sc_pair(u, v)
+
+    def sc_pairs_batch(self, us: Sequence[int], vs: Sequence[int]) -> List[int]:
+        """Vectorized pairwise sc; cross-component pairs yield 0."""
+        return self.star.sc_pairs_batch(us, vs).tolist()
+
+    def smcc(self, q: Sequence[int]) -> SMCCResult:
+        """The SMCC of ``q`` at this generation, via the interval view.
+
+        Every k-ecc is a contiguous slice of the MST* leaf order, so the
+        component is materialized with one slice — no BFS over mutable
+        scratch state, keeping the hot read path lock-free.
+        """
+        sc, start, end = self.star.smcc_interval(q)
+        return SMCCResult(self.star.leaf_order[start:end], sc)
+
+    def smcc_interval(self, q: Sequence[int]) -> Tuple[int, int, int]:
+        """``(sc, start, end)`` interval descriptor of the SMCC of ``q``."""
+        return self.star.smcc_interval(q)
+
+    # ------------------------------------------------------------------
+    # Serialized queries (MST-walk-backed; epoch scratch arrays)
+    # ------------------------------------------------------------------
+    def smcc_l(self, q: Sequence[int], size_bound: int) -> SMCCResult:
+        """The SMCC_L of ``q`` at this generation (Algorithm 5)."""
+        with self._mst_lock:
+            vertices, k = self._mst.smcc_l(q, size_bound)
+        return SMCCResult(vertices, k)
+
+    def components_at(self, k: int) -> List[List[int]]:
+        """All k-eccs of this generation in O(|V|)."""
+        with self._mst_lock:
+            return self._mst.components_at(k)
+
+    def max_connectivity(self) -> int:
+        """The largest k with a k-ecc, at this generation."""
+        return self._mst.max_connectivity()
+
+    def __repr__(self) -> str:
+        return (
+            f"IndexSnapshot(generation={self.generation}, "
+            f"n={self.num_vertices}, m={self.num_edges})"
+        )
+
+
+def capture_snapshot(
+    conn_graph: ConnectivityGraph,
+    mst: MSTIndex,
+    generation: int,
+    star: Optional[MSTStar] = None,
+) -> IndexSnapshot:
+    """Deep-freeze the current index state into an :class:`IndexSnapshot`.
+
+    Must be called while no writer is mutating ``conn_graph`` / ``mst``
+    (the publisher holds its write lock around this).  The clone walks
+    the tree and non-tree edge sets once — O(|V| + |E|) — and pre-builds
+    every lazily derived read structure so that snapshot readers never
+    trigger a build race:
+
+    - the MST clone's rooted arrays and sorted adjacency
+      (:meth:`MSTIndex._ensure_derived`),
+    - the MST* tree plus its Euler-tour LCA tables,
+    - the numpy gather arrays behind ``sc_pairs_batch``.
+    """
+    frozen = MSTIndex(mst.n)
+    for u, v, w in mst.tree_edges():
+        frozen.add_tree_edge(u, v, w)
+    for u, v, w in mst.non_tree.iter_non_increasing():
+        frozen.non_tree.add(u, v, w)
+    frozen._ensure_derived()
+    if star is None:
+        star = build_mst_star(frozen)
+    star._batch_arrays()
+    edges = tuple(sorted(conn_graph.graph.edges()))
+    return IndexSnapshot(
+        generation=generation,
+        num_vertices=conn_graph.num_vertices,
+        edges=edges,
+        mst=frozen,
+        star=star,
+    )

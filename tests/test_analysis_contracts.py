@@ -79,6 +79,26 @@ class TestInvariant:
         with pytest.raises(ContractViolationError, match="lazy detail"):
             invariant("bad", False, lambda: "lazy detail")
 
+    def test_check_work_never_counts_as_query_work(self, enabled):
+        # Contract recomputation is verification, not query work: a
+        # checker that performs instrumented operations must leave the
+        # active QueryStats untouched (regression: the lazy MST* build
+        # of a loaded index inflated lca_calls under invariants).
+        from repro.obs import runtime
+        from repro.obs.stats import collect
+
+        def instrumented_recheck() -> bool:
+            active = runtime.ACTIVE_STATS  # what hot paths consult
+            if active is not None:
+                active.lca_calls += 100
+            return True
+
+        with collect() as stats:
+            invariant("expensive-recheck", instrumented_recheck)
+        assert stats.lca_calls == 0
+        # ...and collection resumes once the check is done
+        assert runtime.ACTIVE_STATS is None
+
     def test_env_parsing(self, monkeypatch):
         for value, expected in [
             ("1", True),

@@ -184,6 +184,31 @@ CORPUS = [
         ),
         3,
     ),
+    (
+        "threading-outside-serve",
+        "index/lock_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            import threading
+
+            LOCK = threading.Lock()
+            """
+        ),
+        3,
+    ),
+    (
+        "threading-outside-serve",
+        "core/thread_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            from threading import Thread
+
+            def spawn(fn):
+                return Thread(target=fn)
+            """
+        ),
+        3,
+    ),
 ]
 
 
@@ -225,6 +250,20 @@ class TestRuleDetails:
         # ... inside kecc/ it does.
         findings = lint_source(source, path="kecc/snippet.py")
         assert [f.rule for f in findings] == ["no-recursion"]
+
+    def test_threading_allowed_inside_serve(self):
+        source = FUTURE + (
+            "import threading\n"
+            "from threading import Barrier\n"
+        )
+        # repro.serve is the sanctioned home of threads and locks ...
+        assert lint_source(source, path="serve/publisher.py") == []
+        # ... everywhere else both import forms are rejected.
+        findings = lint_source(source, path="index/snippet.py")
+        assert [f.rule for f in findings] == [
+            "threading-outside-serve",
+            "threading-outside-serve",
+        ]
 
     def test_multiprocessing_allowed_inside_parallel(self):
         source = FUTURE + (

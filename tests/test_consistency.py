@@ -1,5 +1,6 @@
-"""Cross-artifact consistency: registries, docs, and packaging agree."""
+"""Cross-artifact consistency: registries, docs, engines, and serving agree."""
 
+import random
 import re
 from pathlib import Path
 
@@ -86,3 +87,125 @@ class TestPackaging:
         assert set(QUERY_TABLE_DATASETS) <= set(ref.PAPER_TABLE5)
         assert set(ALL_DATASETS) <= set(ref.PAPER_TABLE7)
         assert set(ALL_DATASETS) <= set(ref.PAPER_TABLE8)
+
+
+class TestCrossEngineSnapshots:
+    """Differential fuzz: every KECC engine feeds identical snapshots.
+
+    The serving layer's correctness argument leans on the connectivity
+    graph (and hence the maximum spanning forest) being a function of
+    the input graph alone — whichever engine computed it.  Here the
+    exact, randomized-contraction, and cut-based engines are run over
+    seeded random graphs and must agree on the full sc map, and the
+    snapshots captured from each must answer identically.
+    """
+
+    @staticmethod
+    def _sc_map(conn):
+        return {
+            (u, v) if u < v else (v, u): w
+            for u, v, w in conn.edges_with_weights()
+        }
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree_on_sc_map(self, seed):
+        from conftest import random_connected_graph
+        from repro.index.connectivity_graph import build_connectivity_graph
+
+        graph = random_connected_graph(seed * 101 + 11, min_n=8, max_n=16)
+        exact = self._sc_map(build_connectivity_graph(graph, engine="exact"))
+        cut = self._sc_map(build_connectivity_graph(graph, engine="cut"))
+        rnd = self._sc_map(
+            build_connectivity_graph(graph, engine="random", seed=seed)
+        )
+        assert exact == cut
+        assert exact == rnd
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_snapshots_answer_identically_across_engines(self, seed):
+        from conftest import random_connected_graph
+        from repro.core.queries import SMCCIndex
+        from repro.serve import capture_snapshot
+
+        graph = random_connected_graph(seed * 37 + 3, min_n=8, max_n=14)
+        n = graph.num_vertices
+        snaps = []
+        for engine in ("exact", "cut", "random"):
+            kwargs = {"seed": seed} if engine == "random" else {}
+            index = SMCCIndex.build(graph, engine=engine, **kwargs)
+            snaps.append(capture_snapshot(index.conn_graph, index.mst, 0))
+        rng = random.Random(seed)
+        for _ in range(50):
+            q = rng.sample(range(n), rng.randint(2, min(4, n)))
+            answers = [s.steiner_connectivity(q) for s in snaps]
+            assert answers[0] == answers[1] == answers[2], q
+            components = [
+                (r.connectivity, sorted(r.vertices))
+                for r in (s.smcc(q) for s in snaps)
+            ]
+            assert components[0] == components[1] == components[2], q
+
+
+class TestServeTraceConsistency:
+    """Cached, uncached, and batched serving agree over a 1k-query trace.
+
+    The trace repeats queries from a small pool (so the cache genuinely
+    hits), applies an update plus a publish every 100 queries (so
+    entries cross generations through region invalidation), and demands
+    the three answer streams be identical element-for-element.
+    """
+
+    def test_cached_uncached_batched_identical_over_trace(self):
+        from conftest import random_connected_graph
+        from repro.serve import ServeConfig, ServingIndex
+
+        rng = random.Random(987)
+        graph = random_connected_graph(99, min_n=20, max_n=24)
+        n = graph.num_vertices
+        present = set(graph.edges())
+        non_edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in present
+        ]
+        rng.shuffle(non_edges)
+        config = ServeConfig(region_fraction_limit=1.0)
+        # Separate graph copies: each server mutates its own live graph.
+        cached = ServingIndex.build(graph.copy(), config=config)
+        batched = ServingIndex.build(graph.copy(), config=config)
+        # A small pool guarantees repeats, hence real cache hits.
+        pool = [rng.sample(range(n), rng.randint(2, 4)) for _ in range(60)]
+        trace = [rng.choice(pool) for _ in range(1000)]
+        inserted = []
+        answers_cached = []
+        answers_uncached = []
+        answers_batched = []
+        for i in range(0, len(trace), 100):
+            chunk = trace[i:i + 100]
+            snap = cached.snapshot()  # the uncached reference path
+            answers_uncached.extend(
+                snap.steiner_connectivity(q) for q in chunk
+            )
+            answers_cached.extend(cached.sc(q) for q in chunk)
+            for j in range(0, len(chunk), 10):
+                answers_batched.extend(batched.sc_batch(chunk[j:j + 10]))
+            # Mid-trace churn: only edges beyond the original connected
+            # graph are deleted, so every query stays connected and the
+            # batch 0-convention never diverges from the raising path.
+            if inserted and rng.random() < 0.5:
+                u, v = inserted.pop()
+                cached.delete_edge(u, v)
+                batched.delete_edge(u, v)
+            else:
+                u, v = non_edges.pop()
+                inserted.append((u, v))
+                cached.insert_edge(u, v)
+                batched.insert_edge(u, v)
+            cached.publish()
+            batched.publish()
+        assert answers_cached == answers_uncached
+        assert answers_batched == answers_uncached
+        assert cached.cache.stats()["hits"] > 0
+        assert cached.generation == 10
+        assert batched.generation == 10

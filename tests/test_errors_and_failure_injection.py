@@ -9,6 +9,7 @@ from repro.errors import (
     EdgeNotFoundError,
     EmptyQueryError,
     GraphError,
+    IndexPersistenceError,
     InfeasibleSizeConstraintError,
     QueryError,
     ReproError,
@@ -59,32 +60,36 @@ class TestHierarchy:
 
 
 class TestCorruptedPersistence:
+    # Damaged artifacts surface as one clean IndexPersistenceError —
+    # never a leaked zipfile/numpy/graph-layer exception.  The full
+    # fault-injection matrix lives in tests/test_persistence.py.
+
     def test_truncated_npz_rejected(self, tmp_path, paper_index):
         paper_index.save(tmp_path / "idx")
         path = tmp_path / "idx" / "conn_graph.npz"
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])
-        with pytest.raises(Exception):
+        with pytest.raises(IndexPersistenceError):
             load_connectivity_graph(path)
 
     def test_garbage_file_rejected(self, tmp_path):
         path = tmp_path / "garbage.npz"
         path.write_bytes(b"this is not a numpy archive")
-        with pytest.raises(Exception):
+        with pytest.raises(IndexPersistenceError):
             load_mst(path)
 
     def test_inconsistent_weights_detected(self, tmp_path):
         # A conn-graph archive whose edges contain a duplicate row: the
-        # Graph rejects the duplicate edge on load.
+        # duplicate is rejected on load, wrapped as a persistence error.
         rows = np.array([[0, 1, 2], [0, 1, 3]], dtype=np.int64)
         np.savez_compressed(
             tmp_path / "bad.npz", num_vertices=np.int64(2), edges=rows
         )
-        with pytest.raises(GraphError):
+        with pytest.raises(IndexPersistenceError, match="invalid edge"):
             load_connectivity_graph(tmp_path / "bad.npz")
 
     def test_missing_directory(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(IndexPersistenceError, match="does not exist"):
             SMCCIndex.load(tmp_path / "nope")
 
 

@@ -115,11 +115,12 @@ class TestEmpiricalOptimality:
 class TestInstrumentedBuildAndMaintenance:
     def test_build_emits_phase_spans_and_round_counters(self):
         graph = ssca_graph(400, seed=2)
+        previous = runtime.REGISTRY
         registry = runtime.enable()
         try:
             SMCCIndex.build(graph)
         finally:
-            runtime.disable()
+            runtime.REGISTRY = previous  # keep any REPRO_OBS=1 registry alive
         roots = [r.name for r in registry.span_roots]
         assert roots == ["index.build"]
         build = registry.span_roots[0]
@@ -151,13 +152,14 @@ class TestInstrumentedBuildAndMaintenance:
     def test_maintenance_counts_sc_changes_and_spans(self):
         graph = ssca_graph(300, seed=9)
         index = SMCCIndex.build(graph)
+        previous = runtime.REGISTRY
         registry = runtime.enable()
         try:
             with collect() as stats:
                 changes = index.insert_edge(0, graph.num_vertices - 1)
                 index.delete_edge(0, graph.num_vertices - 1)
         finally:
-            runtime.disable()
+            runtime.REGISTRY = previous  # keep any REPRO_OBS=1 registry alive
         assert changes
         assert stats.sc_changes >= len(changes)
         names = [r.name for r in registry.span_roots]
@@ -239,3 +241,60 @@ class TestProfileCLI:
         assert report["num_vertices"] == 300
         assert report["pairs_sampled"] == 8
         assert report["tree_edges_checked"] > 0
+
+
+class TestServeCLI:
+    @pytest.fixture(scope="class")
+    def index_dir(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("serve_cli")
+        graph_file = base / "graph.txt"
+        index_dir = base / "index"
+        assert cli.main(["generate", "ssca", "-n", "250",
+                         "-o", str(graph_file)]) == 0
+        assert cli.main(["build", str(graph_file), "-o", str(index_dir)]) == 0
+        return str(index_dir)
+
+    def test_serve_workload_json(self, index_dir, capsys):
+        rc = cli.main([
+            "serve", index_dir,
+            "--readers", "2", "--queries", "40",
+            "--updates", "4", "--publish-every", "2",
+            "--batch-size", "4", "--seed", "9",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["spec"]["readers"] == 2
+        assert doc["queries_answered"] + doc["query_errors"] * 4 >= 80
+        assert doc["updates_applied"] == 4
+        assert doc["publishes"] == 3  # at updates 2 and 4, plus the final one
+        assert doc["serving_stats"]["staleness"] == 0
+
+    def test_serve_obs_flag_embeds_serve_metrics(self, index_dir, capsys):
+        assert runtime.REGISTRY is None
+        rc = cli.main([
+            "serve", index_dir,
+            "--readers", "1", "--queries", "20", "--updates", "0",
+            "--obs",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        counters = doc["metrics"]["counters"]
+        assert all(name.startswith("serve.") for name in counters)
+        assert counters["serve.sc.count"] + counters.get("serve.smcc.count", 0) > 0
+        assert doc["metrics"]["gauges"]["serve.queue.depth"] == 0
+        # the temporary registry never leaks into the process state
+        assert runtime.REGISTRY is None
+
+    def test_serve_is_deterministic_given_a_seed(self, index_dir, capsys):
+        argv = ["serve", index_dir, "--readers", "2", "--queries", "30",
+                "--updates", "0", "--seed", "5"]
+        assert cli.main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert cli.main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        for volatile in ("elapsed_seconds", "throughput_qps"):
+            first.pop(volatile)
+            second.pop(volatile)
+        first["serving_stats"].pop("cache")
+        second["serving_stats"].pop("cache")
+        assert first == second

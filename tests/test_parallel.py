@@ -311,11 +311,14 @@ def test_parallel_counters_recorded():
     from repro.obs import runtime
 
     graph = _multi_component_graph(31)
+    previous = runtime.REGISTRY
     registry = runtime.enable()
     try:
         conn_graph_sharing(graph, jobs=2, min_piece_edges=0)
     finally:
-        runtime.disable()
+        # Restore rather than disable(): under REPRO_OBS=1 the suite
+        # runs with a process registry that must survive this test.
+        runtime.REGISTRY = previous
     snapshot = registry.snapshot()
     counters = snapshot["counters"]
     assert counters.get("conn_graph.parallel.rounds", 0) >= 1

@@ -1,6 +1,12 @@
-"""Unit tests for index persistence and size accounting."""
+"""Unit tests for index persistence, fault handling, and size accounting."""
+
+import random
+
+import numpy as np
+import pytest
 
 from conftest import random_connected_graph
+from repro.errors import IndexPersistenceError
 from repro.graph.generators import paper_example_graph
 from repro.index.connectivity_graph import conn_graph_sharing
 from repro.index.mst import build_mst
@@ -70,3 +76,180 @@ def test_file_size(tmp_path):
     path = tmp_path / "x.npz"
     save_connectivity_graph(conn, path)
     assert file_size_bytes(path) > 0
+
+# ----------------------------------------------------------------------
+# Fault injection: every damaged artifact raises IndexPersistenceError
+# ----------------------------------------------------------------------
+class TestPersistenceFaults:
+    """No numpy / zipfile / graph-layer exception may leak from load_*."""
+
+    @staticmethod
+    def _saved_mst(tmp_path, name="mst.npz"):
+        conn = conn_graph_sharing(paper_example_graph())
+        path = tmp_path / name
+        save_mst(build_mst(conn), path)
+        return path
+
+    @staticmethod
+    def _saved_conn(tmp_path, name="gc.npz"):
+        conn = conn_graph_sharing(paper_example_graph())
+        path = tmp_path / name
+        save_connectivity_graph(conn, path)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(IndexPersistenceError, match="does not exist"):
+            load_mst(tmp_path / "nope.npz")
+        with pytest.raises(IndexPersistenceError, match="does not exist"):
+            load_connectivity_graph(tmp_path / "nope.npz")
+
+    @pytest.mark.parametrize("keep_fraction", [0.1, 0.5, 0.9])
+    def test_truncated_archive(self, tmp_path, keep_fraction):
+        path = self._saved_mst(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: max(1, int(len(blob) * keep_fraction))])
+        with pytest.raises(IndexPersistenceError):
+            load_mst(path)
+
+    def test_garbage_content(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(IndexPersistenceError, match="not a readable"):
+            load_mst(path)
+        with pytest.raises(IndexPersistenceError, match="not a readable"):
+            load_connectivity_graph(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, num_vertices=np.int64(4))
+        with pytest.raises(IndexPersistenceError, match="missing required field"):
+            load_mst(path)
+        with pytest.raises(IndexPersistenceError, match="missing required field"):
+            load_connectivity_graph(path)
+
+    def test_out_of_range_endpoints(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(3),
+            tree=np.asarray([[0, 9, 1]], dtype=np.int64),
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="outside"):
+            load_mst(path)
+
+    def test_non_positive_weight(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(3),
+            edges=np.asarray([[0, 1, 0]], dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="weight"):
+            load_connectivity_graph(path)
+
+    def test_wrong_shape_and_dtype(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(3),
+            tree=np.asarray([[0, 1], [1, 2]], dtype=np.int64),  # (n, 2)
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="edge array"):
+            load_mst(path)
+        np.savez(
+            path,
+            num_vertices=np.int64(3),
+            tree=np.asarray([[0.5, 1.0, 2.0]], dtype=np.float64),
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="integer"):
+            load_mst(path)
+
+    def test_tree_edge_overflow_is_no_forest(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        rows = [[0, 1, 1], [1, 2, 1], [0, 2, 1]]  # 3 edges over 3 vertices
+        np.savez(
+            path,
+            num_vertices=np.int64(3),
+            tree=np.asarray(rows, dtype=np.int64),
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="forest"):
+            load_mst(path)
+
+    def test_duplicate_tree_edge(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(4),
+            tree=np.asarray([[0, 1, 2], [1, 0, 2]], dtype=np.int64),
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="duplicate or degenerate"):
+            load_mst(path)
+
+    def test_degenerate_self_loop_tree_edge(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(4),
+            tree=np.asarray([[2, 2, 1]], dtype=np.int64),
+            non_tree=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="duplicate or degenerate"):
+            load_mst(path)
+
+    def test_negative_num_vertices(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            num_vertices=np.int64(-2),
+            edges=np.zeros((0, 3), dtype=np.int64),
+        )
+        with pytest.raises(IndexPersistenceError, match="negative"):
+            load_connectivity_graph(path)
+
+    def test_error_carries_path_and_detail(self, tmp_path):
+        target = tmp_path / "somewhere.npz"
+        try:
+            load_mst(target)
+        except IndexPersistenceError as exc:
+            assert str(target) in str(exc)
+            assert exc.path == target
+            assert exc.detail
+        else:  # pragma: no cover - the load must fail
+            raise AssertionError("expected IndexPersistenceError")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_roundtrip_fuzz_with_random_truncation(self, tmp_path, seed):
+        """Fuzz: a clean save round-trips; any truncation raises cleanly."""
+        rng = random.Random(seed * 7 + 1)
+        graph = random_connected_graph(seed + 500)
+        conn = conn_graph_sharing(graph)
+        mst = build_mst(conn)
+        mst_path = tmp_path / f"fuzz{seed}.npz"
+        save_mst(mst, mst_path)
+        assert sorted(load_mst(mst_path).tree_edges()) == sorted(mst.tree_edges())
+        blob = mst_path.read_bytes()
+        cut = rng.randrange(1, len(blob))
+        mst_path.write_bytes(blob[:cut])
+        with pytest.raises(IndexPersistenceError):
+            load_mst(mst_path)
+
+    def test_smcc_index_load_wraps_persistence_errors(self, tmp_path):
+        """The high-level SMCCIndex.load surfaces the same clean error."""
+        from repro.core.queries import SMCCIndex
+
+        index = SMCCIndex.build(paper_example_graph())
+        directory = tmp_path / "idx"
+        index.save(directory)
+        reloaded = SMCCIndex.load(directory)
+        assert reloaded.steiner_connectivity([0, 3, 4]) == 4
+        # Corrupt one artifact in place; the load must fail cleanly.
+        victims = sorted(directory.glob("*.npz"))
+        assert victims
+        victims[0].write_bytes(b"corrupted beyond recognition")
+        with pytest.raises(IndexPersistenceError):
+            SMCCIndex.load(directory)
