@@ -67,16 +67,17 @@ def _stats_paused() -> Iterator[None]:
 
     Contract recomputation is verification, not query work: a lemma
     check that re-walks the whole tree must not inflate the
-    output-sensitivity counters of the query it certifies.
+    output-sensitivity counters of the query it certifies.  The active
+    collector is thread-local, so pausing it here only affects the
+    thread running the check — concurrent serve readers keep counting.
     """
     from repro.obs import runtime
 
-    saved = runtime.ACTIVE_STATS
-    runtime.ACTIVE_STATS = None
+    saved = runtime.set_active_stats(None)
     try:
         yield
     finally:
-        runtime.ACTIVE_STATS = saved
+        runtime.set_active_stats(saved)
 
 
 def require(condition: bool, message: str) -> None:

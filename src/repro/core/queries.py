@@ -264,12 +264,12 @@ class SMCCIndex:
                 "SMCCIndex.steiner_connectivity", ("method",), args
             ).get("method", method)
         if method == "star":
-            if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            if _obs.REGISTRY is None and _obs.get_active_stats() is None:
                 return self.mst_star.steiner_connectivity(q)
             with profiled_query("sc", query_size=len(q)), span("query.sc"):
                 return self.mst_star.steiner_connectivity(q)
         if method == "walk":
-            if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+            if _obs.REGISTRY is None and _obs.get_active_stats() is None:
                 return self.mst.steiner_connectivity(q)
             with profiled_query("sc_walk", query_size=len(q)), span("query.sc_walk"):
                 return self.mst.steiner_connectivity(q)
@@ -277,7 +277,7 @@ class SMCCIndex:
 
     def smcc(self, q: Sequence[int]) -> SMCCResult:
         """The SMCC of ``q`` (Algorithm 4), O(result) time."""
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             vertices, sc = smcc_opt(self.mst, q, self.mst_star)
             return SMCCResult(vertices, sc)
         with profiled_query("smcc", query_size=len(q)) as stats, span("query.smcc"):
@@ -293,7 +293,7 @@ class SMCCIndex:
         available without enumerating its vertices; materialize them
         lazily via :attr:`SMCCInterval.vertices`.
         """
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             sc, start, end = self.mst_star.smcc_interval(q)
             return SMCCInterval(self.mst_star, sc, start, end)
         with profiled_query("smcc_interval", query_size=len(q)) as stats, span(
@@ -307,7 +307,7 @@ class SMCCIndex:
         size_bound = self._required_option(
             "SMCCIndex.smcc_l", "size_bound", size_bound, args
         )
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             vertices, k = smcc_l_opt(self.mst, q, size_bound)
             return SMCCResult(vertices, k)
         with profiled_query("smcc_l", query_size=len(q)) as stats, span("query.smcc_l"):
@@ -321,7 +321,7 @@ class SMCCIndex:
         size_bound = self._required_option(
             "SMCCIndex.steiner_connectivity_with_size", "size_bound", size_bound, args
         )
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             return steiner_connectivity_with_size(self.mst, q, size_bound)
         with profiled_query("sc_with_size", query_size=len(q)), span("query.sc_with_size"):
             return steiner_connectivity_with_size(self.mst, q, size_bound)
@@ -333,7 +333,7 @@ class SMCCIndex:
         cover_bound = self._required_option(
             "SMCCIndex.subset_smcc", "cover_bound", cover_bound, args
         )
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             vertices, k = subset_smcc(self.mst, q, cover_bound)
             return SMCCResult(vertices, k)
         with profiled_query("subset_smcc", query_size=len(q)) as stats, span(
@@ -349,7 +349,7 @@ class SMCCIndex:
         num_components = self._required_option(
             "SMCCIndex.smcc_cover", "num_components", num_components, args
         )
-        if _obs.REGISTRY is None and _obs.ACTIVE_STATS is None:
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
             return [
                 SMCCResult(vertices, k)
                 for vertices, k in smcc_cover(self.mst, q, num_components)

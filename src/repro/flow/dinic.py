@@ -85,7 +85,7 @@ class Dinic:
                     break
                 augmentations += 1
                 flow += pushed
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.flow_bfs_rounds += bfs_rounds
             stats.flow_augmentations += augmentations

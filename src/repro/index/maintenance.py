@@ -84,7 +84,7 @@ class IndexMaintainer:
             self._apply_decrements(demoted, k_uv)
             sp.set("affected_component", len(component))
             sp.set("sc_changes", len(demoted))
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.sc_changes += len(demoted)
         return [(a, b, k_uv - 1) for a, b in demoted]
@@ -182,7 +182,7 @@ class IndexMaintainer:
             # no other edge can change (Lemma 5.4 with k_uv undefined/0).
             self.conn.add_edge(u, v, 1)
             self.mst.add_tree_edge(u, v, 1)
-            stats = _obs.ACTIVE_STATS
+            stats = _obs.get_active_stats()
             if stats is not None:
                 stats.sc_changes += 1
             return [(u, v, 1)]
@@ -205,7 +205,7 @@ class IndexMaintainer:
                 changes.append((a, b, k_uv + 1))
             sp.set("affected_component", len(component))
             sp.set("sc_changes", len(changes))
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.sc_changes += len(changes)
         return changes

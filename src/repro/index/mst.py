@@ -114,7 +114,7 @@ class MSTIndex:
     # Derived structures
     # ------------------------------------------------------------------
     def _ensure_derived(self) -> None:
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if self._sorted_adj is not None and self._parent is not None:
             if stats is not None:
                 stats.cache_hits += 1
@@ -230,7 +230,7 @@ class MSTIndex:
                 # Loop ended with u == v: that meeting point is lca_i.
                 marks[u] = epoch
                 lca = u
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.tree_edges_scanned += edges_scanned
             stats.vertices_touched += edges_scanned + 1
@@ -283,7 +283,7 @@ class MSTIndex:
                     marks[v] = epoch
                     result.append(v)
                     queue.append(v)
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             # Replay the scans the BFS just performed (heavy entries plus
             # the one light probe per vertex) so the hot loop stays clean.
@@ -362,7 +362,7 @@ class MSTIndex:
                 # Line 11: k becomes the connectivity of the SMCC_L.
                 k = min_popped
 
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.queue_pops += pops
             stats.tree_edges_scanned += pops

@@ -234,7 +234,7 @@ class MSTStar:
             raise DisconnectedQueryError(
                 f"vertices {u} and {v} are in different components"
             )
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.lca_calls += 1
             stats.vertices_touched += 2
@@ -294,7 +294,7 @@ class MSTStar:
             raise InternalInvariantError(
                 "MST* LCA scan over a multi-vertex query produced no weight"
             )
-        stats = _obs.ACTIVE_STATS
+        stats = _obs.get_active_stats()
         if stats is not None:
             stats.lca_calls += len(q) - 1
             stats.vertices_touched += len(q)

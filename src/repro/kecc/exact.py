@@ -246,7 +246,7 @@ def _decompose_arrays(
             vs = vs[:0]
             mult = mult[:0]
         num_super = len(root_ids)
-    stats = _obs.ACTIVE_STATS
+    stats = _obs.get_active_stats()
     if stats is not None:
         stats.kecc_rounds += rounds
     return pieces
@@ -339,7 +339,7 @@ def _decompose_dicts(
         if active_count > 0:
             for r in active:
                 forward[r] = r
-    stats = _obs.ACTIVE_STATS
+    stats = _obs.get_active_stats()
     if stats is not None:
         stats.kecc_rounds += rounds
     return pieces

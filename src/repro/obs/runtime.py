@@ -1,19 +1,26 @@
 """Process-global observability state (the one mutable module).
 
-Hot paths throughout the library interrogate exactly two module
-attributes:
+Hot paths throughout the library interrogate exactly two pieces of
+state:
 
-- ``REGISTRY`` — the active :class:`~repro.obs.metrics.MetricsRegistry`,
-  or ``None`` when observability is disabled;
-- ``ACTIVE_STATS`` — the :class:`~repro.obs.stats.QueryStats` collector
-  installed by the innermost ``collect()`` / ``profiled_query()``
-  context, or ``None``.
+- ``REGISTRY`` — the active :class:`~repro.obs.metrics.MetricsRegistry`
+  module attribute, or ``None`` when observability is disabled.  The
+  registry is process-global (its own counters are lock-guarded);
+- the **active stats collector** — the
+  :class:`~repro.obs.stats.QueryStats` installed by the innermost
+  ``collect()`` / ``profiled_query()`` context, read through
+  :func:`get_active_stats`.  The collector is **thread-local**: each
+  serving thread profiles its own queries without its counters being
+  merged into (or clobbered by) a collector installed on another
+  thread.  Always access it through :func:`get_active_stats` /
+  :func:`set_active_stats`.
 
-Both default to ``None``, so the disabled fast path is a module
-attribute load plus an ``is None`` test — no allocation, no call.  The
-environment variable ``REPRO_OBS`` (anything except ``0`` / ``false`` /
-``off`` / ``no`` / empty) enables a process-wide registry at import
-time; :func:`enable` / :func:`disable` switch it programmatically.
+Both default to ``None``, so the disabled fast path is one attribute
+read (plus one cheap call for the collector) and an ``is None`` test —
+nothing is allocated.  The environment variable ``REPRO_OBS``
+(anything except ``0`` / ``false`` / ``off`` / ``no`` / empty) enables
+a process-wide registry at import time; :func:`enable` /
+:func:`disable` switch it programmatically.
 
 This module deliberately imports nothing from the rest of the library
 at module level so that any hot module can import it without cycles.
@@ -22,6 +29,10 @@ at module level so that any hot module can import it without cycles.
 from __future__ import annotations
 
 import os
+
+# threading.local only — per-thread collector slots, no locks or
+# threads; lock discipline stays in repro.serve.
+import threading  # repro-lint: ignore[threading-outside-serve]
 from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -33,8 +44,35 @@ _FALSY = frozenset({"", "0", "false", "off", "no"})
 #: the active metrics registry; ``None`` = observability disabled
 REGISTRY: Optional["MetricsRegistry"] = None
 
-#: the innermost active per-query stats collector (or ``None``)
-ACTIVE_STATS: Optional["QueryStats"] = None
+
+class _ThreadLocalState(threading.local):
+    """Per-thread observability state (fresh attributes per thread)."""
+
+    def __init__(self) -> None:
+        #: the innermost active per-query stats collector (or ``None``)
+        self.active_stats: Optional["QueryStats"] = None
+
+
+_STATE = _ThreadLocalState()
+
+
+def get_active_stats() -> Optional["QueryStats"]:
+    """This thread's innermost active stats collector, or ``None``."""
+    return _STATE.active_stats
+
+
+def set_active_stats(
+    stats: Optional["QueryStats"],
+) -> Optional["QueryStats"]:
+    """Install ``stats`` as this thread's collector; returns the previous.
+
+    Thread-local by design: ``collect()`` scopes and the contract
+    checker's stats pause on one thread never disturb a collector
+    running on another.
+    """
+    previous = _STATE.active_stats
+    _STATE.active_stats = stats
+    return previous
 
 
 def env_requests_obs() -> bool:

@@ -17,8 +17,11 @@ hits), which lets tests assert the bounds empirically::
 Collectors nest: an inner ``collect()`` (or the per-query collector the
 facade installs when profiling is on) merges its counters into the
 enclosing collector on exit, so an outer scope always sees totals.
-When no collector is installed the hot paths pay one module-attribute
-load and an ``is None`` test — nothing is allocated.
+The installed collector is **thread-local** — a ``collect()`` scope on
+one thread neither observes nor disturbs queries running on another,
+so concurrent serve readers can each profile their own work.  When no
+collector is installed the hot paths pay one cheap lookup and an
+``is None`` test — nothing is allocated.
 """
 
 from __future__ import annotations
@@ -103,21 +106,20 @@ def collect() -> Iterator[QueryStats]:
     scopes observe the inner work too.
     """
     stats = QueryStats()
-    previous = runtime.ACTIVE_STATS
-    runtime.ACTIVE_STATS = stats
+    previous = runtime.set_active_stats(stats)
     start = monotonic()
     try:
         yield stats
     finally:
         stats.elapsed_seconds += monotonic() - start
-        runtime.ACTIVE_STATS = previous
+        runtime.set_active_stats(previous)
         if previous is not None:
             stats.merge_counters_into(previous)
 
 
 def profiling_active() -> bool:
     """True when the query facade should allocate per-query stats."""
-    return runtime.REGISTRY is not None or runtime.ACTIVE_STATS is not None
+    return runtime.REGISTRY is not None or runtime.get_active_stats() is not None
 
 
 @contextmanager
@@ -129,14 +131,13 @@ def profiled_query(kind: str, query_size: int = 0) -> Iterator[QueryStats]:
     (``query.<kind>.count`` / ``.seconds`` / per-counter totals).
     """
     stats = QueryStats(kind=kind, query_size=query_size)
-    previous = runtime.ACTIVE_STATS
-    runtime.ACTIVE_STATS = stats
+    previous = runtime.set_active_stats(stats)
     start = monotonic()
     try:
         yield stats
     finally:
         stats.elapsed_seconds += monotonic() - start
-        runtime.ACTIVE_STATS = previous
+        runtime.set_active_stats(previous)
         if previous is not None:
             stats.merge_counters_into(previous)
         registry = runtime.REGISTRY

@@ -20,6 +20,24 @@ construction.  Two mechanisms guarantee that:
   unknown (or region tracking is disabled) the cache is invalidated
   wholesale, which is always safe.
 
+Readers insert results *outside* the publisher lock, so an insert and
+a publish can race.  The cache therefore tracks its own current
+generation and enforces a strict discipline:
+
+- :meth:`QueryCache.put` discards any insert stamped with a
+  generation other than the cache's current one — a result computed
+  against generation N that lands after the advance to N+1 was never
+  checked against that publish's affected set, so accepting it (and
+  letting a later advance re-stamp it) would serve stale answers;
+- :meth:`QueryCache.advance` only carries over entries validated at
+  the immediately preceding generation, rejects non-monotonic
+  generations outright (publish and advance are not one atomic step,
+  so notifications can arrive reordered), and falls back to wholesale
+  invalidation on a generation gap.
+
+Together these make every resident entry provably valid at the
+cache's current generation, whatever the interleaving.
+
 The cache is a plain lock-guarded ``OrderedDict`` LRU: the serving
 layer's critical sections are a handful of dict operations, far cheaper
 than the queries they shortcut.
@@ -64,32 +82,42 @@ class CacheEntry:
 class QueryCache:
     """A thread-safe, generation-aware LRU mapping query keys to answers."""
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: int = 4096, generation: int = 0) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        #: the generation the cache currently accepts inserts for;
+        #: advanced monotonically by :meth:`advance`
+        self._generation = generation
         # Counters (mirrored into the obs registry by the serving layer).
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
         self.carried_over = 0
+        self.stale_puts = 0
+
+    @property
+    def generation(self) -> int:
+        """The generation the cache currently accepts inserts for."""
+        with self._lock:
+            return self._generation
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey, generation: int) -> Optional[CacheEntry]:
         """The entry for ``key`` at ``generation``, or None on a miss.
 
-        An entry from an older generation is treated as a miss and
-        dropped eagerly (it survived ``advance`` only if it was proven
-        unaffected, in which case its generation was bumped).
+        Every resident entry is stamped with the cache's current
+        generation (older entries survive ``advance`` only when proven
+        unaffected, which bumps their stamp), so a reader holding an
+        older snapshot simply misses — the entry stays for current
+        readers.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None or entry.generation != generation:
-                if entry is not None:
-                    del self._entries[key]
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -103,8 +131,20 @@ class QueryCache:
         generation: int,
         touch: FrozenSet[int] = frozenset(),
     ) -> None:
-        """Insert/overwrite an answer computed against ``generation``."""
+        """Insert an answer computed against ``generation``.
+
+        Discarded when ``generation`` is not the cache's current one:
+        readers insert outside the publisher lock, so a result computed
+        against generation N can arrive after the advance to N+1 — its
+        validity was never checked against that publish's affected set,
+        and a later advance would re-stamp it as current, serving stale
+        answers.  Dropping it is always safe (worst case: one redundant
+        recomputation).
+        """
         with self._lock:
+            if generation != self._generation:
+                self.stale_puts += 1
+                return
             self._entries[key] = CacheEntry(value, generation, touch)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -118,12 +158,26 @@ class QueryCache:
         """Invalidate for a newly published generation; returns drops.
 
         ``affected=None`` means the affected region is unknown: drop
-        everything (wholesale).  Otherwise drop exactly the entries
-        whose touch set intersects ``affected`` and re-stamp the rest to
+        everything (wholesale).  Otherwise drop the entries whose touch
+        set intersects ``affected`` and re-stamp the rest to
         ``new_generation`` (their answers carry over unchanged).
+
+        Only entries validated at ``new_generation - 1`` are eligible
+        to carry over — anything else was never checked against every
+        intervening publish.  A ``new_generation`` at or below the
+        cache's current one is rejected as a no-op: the publisher's
+        publish and this advance are not one atomic step, so
+        notifications can arrive reordered, and by the time an older
+        one lands a newer advance has already dropped everything that
+        publish could have invalidated.  A generation *gap* (the
+        predecessor's advance never arrived) falls back to wholesale.
         """
         with self._lock:
-            if affected is None:
+            if new_generation <= self._generation:
+                return 0
+            previous = self._generation
+            self._generation = new_generation
+            if affected is None or new_generation != previous + 1:
                 dropped = len(self._entries)
                 self._entries.clear()
                 self.invalidations += dropped
@@ -131,7 +185,11 @@ class QueryCache:
             dead = []
             carried = 0
             for key, entry in self._entries.items():
-                if not entry.touch or entry.touch & affected:
+                if (
+                    entry.generation != previous
+                    or not entry.touch
+                    or entry.touch & affected
+                ):
                     dead.append(key)
                 else:
                     entry.generation = new_generation
@@ -157,11 +215,13 @@ class QueryCache:
             return {
                 "size": len(self._entries),
                 "capacity": self.capacity,
+                "generation": self._generation,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
                 "carried_over": self.carried_over,
+                "stale_puts": self.stale_puts,
             }
 
     def __repr__(self) -> str:

@@ -25,6 +25,7 @@ All serve-side metrics land in the :mod:`repro.obs` registry under the
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
@@ -100,8 +101,13 @@ class ServingIndex:
     ) -> None:
         self.config = config or ServeConfig()
         self.publisher = SnapshotPublisher(index)
-        self.cache = QueryCache(self.config.cache_capacity)
+        self.cache = QueryCache(
+            self.config.cache_capacity, generation=self.publisher.generation
+        )
         self._degraded_queries = 0
+        #: guards _inflight: _admit/_release run concurrently from every
+        #: reader thread and += is not atomic
+        self._inflight_lock = threading.Lock()
         self._inflight = 0
 
     @classmethod
@@ -377,11 +383,13 @@ class ServingIndex:
         return frozenset(snapshot.star.leaf_order[start:end]).union(q)
 
     def _admit(self, kind: str, timeout: Optional[float]) -> _Deadline:
-        self._inflight += 1
+        with self._inflight_lock:
+            self._inflight += 1
+            inflight = self._inflight
         registry = _obs.REGISTRY
         if registry is not None:
             registry.counter(f"serve.{kind}.count").inc()
-            registry.gauge("serve.queue.depth").set(self._inflight)
+            registry.gauge("serve.queue.depth").set(inflight)
             registry.gauge("serve.snapshot.staleness").set(
                 self.publisher.staleness()
             )
@@ -397,10 +405,12 @@ class ServingIndex:
         return deadline
 
     def _release(self) -> None:
-        self._inflight -= 1
+        with self._inflight_lock:
+            self._inflight -= 1
+            inflight = self._inflight
         registry = _obs.REGISTRY
         if registry is not None:
-            registry.gauge("serve.queue.depth").set(self._inflight)
+            registry.gauge("serve.queue.depth").set(inflight)
 
     def _count(self, name: str, amount: int = 1) -> None:
         registry = _obs.REGISTRY
@@ -422,10 +432,12 @@ class ServingIndex:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """One JSON-ready dict of serving-side health."""
+        with self._inflight_lock:
+            inflight = self._inflight
         return {
             "generation": self.generation,
             "staleness": self.staleness(),
-            "inflight": self._inflight,
+            "inflight": inflight,
             "degraded_queries": self._degraded_queries,
             "cache": self.cache.stats(),
         }

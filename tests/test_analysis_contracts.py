@@ -88,7 +88,7 @@ class TestInvariant:
         from repro.obs.stats import collect
 
         def instrumented_recheck() -> bool:
-            active = runtime.ACTIVE_STATS  # what hot paths consult
+            active = runtime.get_active_stats()  # what hot paths consult
             if active is not None:
                 active.lca_calls += 100
             return True
@@ -97,7 +97,47 @@ class TestInvariant:
             invariant("expensive-recheck", instrumented_recheck)
         assert stats.lca_calls == 0
         # ...and collection resumes once the check is done
-        assert runtime.ACTIVE_STATS is None
+        assert runtime.get_active_stats() is None
+
+    def test_stats_pause_does_not_clobber_other_threads(self, enabled):
+        # The pause is thread-local: an invariant check running on one
+        # thread must not suspend (or later restore over) a collector
+        # active on a concurrently serving thread.
+        import threading
+
+        from repro.obs import runtime
+        from repro.obs.stats import collect
+
+        in_check = threading.Event()
+        finish_check = threading.Event()
+        observed = {}
+
+        def checker():
+            def slow_check() -> bool:
+                in_check.set()
+                assert finish_check.wait(5)
+                return True
+
+            invariant("slow-cross-thread-check", slow_check)
+
+        def collector():
+            with collect() as stats:
+                assert in_check.wait(5)
+                # The other thread is mid-pause right now; ours stays.
+                observed["active_is_ours"] = (
+                    runtime.get_active_stats() is stats
+                )
+                finish_check.set()
+
+        threads = [
+            threading.Thread(target=checker),
+            threading.Thread(target=collector),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert observed["active_is_ours"] is True
 
     def test_env_parsing(self, monkeypatch):
         for value, expected in [

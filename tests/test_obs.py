@@ -27,12 +27,12 @@ from repro.obs.timing import Stopwatch
 @pytest.fixture(autouse=True)
 def _clean_runtime():
     """Isolate every test from process-global observability state."""
-    prev_registry, prev_stats = runtime.REGISTRY, runtime.ACTIVE_STATS
+    prev_registry = runtime.REGISTRY
+    prev_stats = runtime.set_active_stats(None)
     runtime.REGISTRY = None
-    runtime.ACTIVE_STATS = None
     yield
     runtime.REGISTRY = prev_registry
-    runtime.ACTIVE_STATS = prev_stats
+    runtime.set_active_stats(prev_stats)
 
 
 class TestPrimitives:
@@ -197,11 +197,11 @@ class TestSpans:
 
 class TestCollect:
     def test_collect_installs_and_restores(self):
-        assert runtime.ACTIVE_STATS is None
+        assert runtime.get_active_stats() is None
         with collect() as stats:
-            assert runtime.ACTIVE_STATS is stats
+            assert runtime.get_active_stats() is stats
             stats.vertices_touched += 7
-        assert runtime.ACTIVE_STATS is None
+        assert runtime.get_active_stats() is None
         assert stats.vertices_touched == 7
         assert stats.elapsed_seconds > 0.0
 
@@ -210,9 +210,40 @@ class TestCollect:
             with collect() as inner:
                 inner.lca_calls += 3
                 inner.query_size = 5
-            assert runtime.ACTIVE_STATS is outer
+            assert runtime.get_active_stats() is outer
         assert outer.lca_calls == 3
         assert outer.query_size == 0  # sizes do not aggregate
+
+    def test_collectors_are_thread_local(self):
+        import threading
+
+        ready = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def worker():
+            observed["before"] = runtime.get_active_stats()
+            with collect() as stats:
+                stats.lca_calls += 1
+                ready.set()
+                assert release.wait(5)
+            observed["after"] = runtime.get_active_stats()
+            observed["worker_calls"] = stats.lca_calls
+
+        with collect() as outer:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            assert ready.wait(5)
+            # The worker's collector is invisible on this thread...
+            assert runtime.get_active_stats() is outer
+            release.set()
+            thread.join(timeout=10)
+        # ...the main collector was invisible on the worker's thread,
+        # so the worker's counters never merged into it.
+        assert observed["before"] is None
+        assert observed["after"] is None
+        assert observed["worker_calls"] == 1
+        assert outer.lca_calls == 0
 
     def test_profiled_query_feeds_registry(self):
         reg = runtime.enable()

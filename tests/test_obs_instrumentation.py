@@ -31,12 +31,12 @@ def ssca():
 
 @pytest.fixture(autouse=True)
 def _clean_runtime():
-    prev_registry, prev_stats = runtime.REGISTRY, runtime.ACTIVE_STATS
+    prev_registry = runtime.REGISTRY
+    prev_stats = runtime.set_active_stats(None)
     runtime.REGISTRY = None
-    runtime.ACTIVE_STATS = None
     yield
     runtime.REGISTRY = prev_registry
-    runtime.ACTIVE_STATS = prev_stats
+    runtime.set_active_stats(prev_stats)
 
 
 class TestEmpiricalOptimality:

@@ -82,12 +82,13 @@ class TestQueryCache:
             canonical_query("smcc_l", (1, 2), 6)
 
     def test_hit_requires_matching_generation(self):
-        cache = QueryCache(capacity=8)
+        cache = QueryCache(capacity=8, generation=3)
         key = canonical_query("sc", (1, 2))
         cache.put(key, 7, generation=3, touch=frozenset({1, 2}))
         assert cache.get(key, 3).value == 7
         assert cache.get(key, 4) is None  # stale generation = miss
-        assert cache.stats()["hits"] == 1
+        assert cache.get(key, 3).value == 7  # mismatch did not evict
+        assert cache.stats()["hits"] == 2
         assert cache.stats()["misses"] == 1
 
     def test_lru_eviction(self):
@@ -130,6 +131,52 @@ class TestQueryCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             QueryCache(capacity=0)
+
+    def test_stale_put_after_advance_is_discarded(self):
+        # A reader computes against generation 0, but its put lands
+        # after the publish to generation 1 already invalidated the
+        # cache.  The insert was never checked against that publish's
+        # affected set, so it must be dropped — a later advance with a
+        # disjoint affected set must not resurrect it as current.
+        cache = QueryCache(capacity=8)
+        key = canonical_query("sc", (1, 2))
+        cache.advance(1, affected=frozenset({1}))   # publish gen 1
+        cache.put(key, 7, generation=0, touch=frozenset({1, 2}))  # late
+        assert cache.stats()["stale_puts"] == 1
+        assert len(cache) == 0
+        cache.advance(2, affected=frozenset({99}))  # disjoint publish
+        assert cache.get(key, 2) is None            # never re-stamped
+
+    def test_carry_only_from_immediately_preceding_generation(self):
+        cache = QueryCache(capacity=8)
+        key = canonical_query("sc", (8, 9))
+        cache.put(key, 2, 0, touch=frozenset({8, 9}))
+        cache.advance(1, affected=frozenset({3}))   # gen 0 -> 1: carries
+        assert cache.get(key, 1).value == 2
+        assert cache.stats()["generation"] == 1
+
+    def test_out_of_order_advance_is_rejected(self):
+        # publish() and advance() are not one atomic step, so advance
+        # notifications can arrive reordered; an older one must not
+        # touch entries already validated at a newer generation.
+        cache = QueryCache(capacity=8)
+        key = canonical_query("sc", (8, 9))
+        cache.advance(2, affected=frozenset({1}))   # gen 2 arrives first
+        cache.put(key, 2, 2, touch=frozenset({8, 9}))
+        assert cache.advance(1, affected=frozenset({8})) == 0  # late gen 1
+        assert cache.stats()["generation"] == 2
+        assert cache.get(key, 2).value == 2         # untouched
+
+    def test_generation_gap_invalidates_wholesale(self):
+        # If the predecessor's advance never arrived, entries were not
+        # validated against it — only wholesale is safe.
+        cache = QueryCache(capacity=8)
+        key = canonical_query("sc", (8, 9))
+        cache.put(key, 2, 0, touch=frozenset({8, 9}))
+        dropped = cache.advance(2, affected=frozenset({99}))  # skips gen 1
+        assert dropped == 1
+        assert cache.get(key, 2) is None
+        assert cache.stats()["generation"] == 2
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +231,28 @@ class TestServingIndex:
         assert serving.sc([4, 3, 0]) == 4  # canonical hit
         stats = serving.cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_inflight_counter_survives_concurrent_admission(self, paper_graph):
+        # _admit/_release run unsynchronized from every reader thread;
+        # lost increments would make the gauge (and stats) drift.
+        import threading
+
+        serving = ServingIndex.build(paper_graph)
+        n_threads, rounds = 8, 400
+        barrier = threading.Barrier(n_threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(rounds):
+                serving._admit("sc", None)
+                serving._release()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert serving.stats()["inflight"] == 0
 
     def test_update_then_publish_changes_answers(self, paper_graph):
         serving = ServingIndex.build(paper_graph)
