@@ -20,7 +20,7 @@ import re
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from repro.analysis.findings import ALL_RULES, Finding, ModuleContext
-from repro.analysis.rules import Rule, make_rules
+from repro.analysis.rules import ProjectRule, Rule, make_rules
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_*,\- ]+)\])?"
@@ -74,10 +74,37 @@ def lint_context(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
     """Run ``rules`` over one parsed module, applying suppressions."""
     findings: List[Finding] = []
     for rule in rules:
-        if not rule.applies_to(ctx):
+        if isinstance(rule, ProjectRule) or not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
             if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_contexts(
+    contexts: Sequence[ModuleContext], rules: Sequence[Rule]
+) -> List[Finding]:
+    """Run module rules per context, then project rules across them all.
+
+    Project-rule findings are anchored at one (path, line) like any
+    other finding, so the per-line suppression machinery applies — the
+    anchor module's suppressions decide.
+    """
+    findings: List[Finding] = []
+    for ctx in contexts:
+        findings.extend(lint_context(ctx, rules))
+    by_path = {ctx.path: ctx for ctx in contexts}
+    for rule in rules:
+        if not isinstance(rule, ProjectRule):
+            continue
+        applicable = [ctx for ctx in contexts if rule.applies_to(ctx)]
+        if not applicable:
+            continue
+        for finding in rule.check_project(applicable):
+            anchor = by_path.get(finding.path)
+            if anchor is None or not anchor.is_suppressed(finding):
                 findings.append(finding)
     findings.sort()
     return findings
@@ -90,7 +117,9 @@ def lint_source(
     root: Optional[str] = None,
 ) -> List[Finding]:
     """Lint one in-memory module (the unit-test entry point)."""
-    return lint_context(build_context(path, source, root=root), make_rules(only))
+    return lint_contexts(
+        [build_context(path, source, root=root)], make_rules(only)
+    )
 
 
 def iter_python_files(paths: Iterable[str]) -> List[str]:
@@ -110,17 +139,24 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
     return out
 
 
-def lint_paths(
-    paths: Sequence[str], only: Optional[Set[str]] = None
-) -> List[Finding]:
-    """Lint files and directories; directory roots scope path-based rules."""
-    rules = make_rules(only)
-    findings: List[Finding] = []
+def collect_contexts(paths: Sequence[str]) -> List[ModuleContext]:
+    """Parse every ``.py`` file under ``paths`` into module contexts.
+
+    Each argument that is a directory becomes the lint root for the
+    files below it (scoping path-based rules exactly as before).
+    """
+    contexts: List[ModuleContext] = []
     for path in paths:
         root = path if os.path.isdir(path) else os.path.dirname(path) or "."
         for filename in iter_python_files([path]):
             with open(filename, "r", encoding="utf-8") as handle:
                 source = handle.read()
-            ctx = build_context(filename, source, root=root)
-            findings.extend(lint_context(ctx, rules))
-    return findings
+            contexts.append(build_context(filename, source, root=root))
+    return contexts
+
+
+def lint_paths(
+    paths: Sequence[str], only: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Lint files and directories; directory roots scope path-based rules."""
+    return lint_contexts(collect_contexts(paths), make_rules(only))

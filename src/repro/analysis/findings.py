@@ -7,18 +7,34 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 
+#: finding severities, mildest first (order used by ``--fail-on``)
+SEVERITIES = ("warning", "error")
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One lint violation at a specific source location."""
+    """One lint violation at a specific source location.
+
+    ``severity`` defaults to ``"error"`` (the historical behavior);
+    advisory rules — e.g. the lock-order-cycle deadlock heuristic —
+    report ``"warning"`` findings, which render with a ``warning``
+    marker and can be exempted from the exit code via
+    ``repro-lint --fail-on error``.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+        marker = "" if self.severity == "error" else f"{self.severity} "
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{marker}[{self.rule}] {self.message}"
+        )
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -27,6 +43,7 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "severity": self.severity,
         }
 
 

@@ -16,8 +16,16 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.engine import LintSyntaxError, lint_paths
-from repro.analysis.rules import all_rule_ids, rule_description
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULE_IDS,
+    build_lock_order_graph,
+)
+from repro.analysis.engine import (
+    LintSyntaxError,
+    collect_contexts,
+    lint_contexts,
+)
+from repro.analysis.rules import all_rule_ids, make_rules, rule_description
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -51,6 +59,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="run the concurrency rule set (guarded-by-*, "
+        "lock-order-cycle); combines with --rules as a union",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="warning",
+        help="minimum severity that affects the exit code (default: "
+        "warning, i.e. any finding fails — the historical behavior); "
+        "'error' still prints warnings but exits 0 on them",
+    )
+    parser.add_argument(
+        "--lock-graph",
+        default=None,
+        metavar="PATH",
+        help="write the lock-acquisition-order graph of the linted "
+        "tree to PATH as JSON (the CI artifact)",
+    )
     return parser
 
 
@@ -79,15 +108,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return EXIT_ERROR
+    if args.concurrency:
+        only = (only or set()) | set(CONCURRENCY_RULE_IDS)
 
     try:
-        findings = lint_paths(args.paths, only=only)
+        contexts = collect_contexts(args.paths)
+        findings = lint_contexts(contexts, make_rules(only))
     except LintSyntaxError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
     except OSError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+
+    if args.lock_graph is not None:
+        graph = build_lock_order_graph(contexts)
+        try:
+            with open(args.lock_graph, "w", encoding="utf-8") as handle:
+                json.dump(graph, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return EXIT_ERROR
 
     if args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
@@ -98,7 +140,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if findings:
             print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
 
-    return EXIT_FINDINGS if findings else EXIT_CLEAN
+    if args.fail_on == "error":
+        gating = [f for f in findings if f.severity == "error"]
+    else:
+        gating = list(findings)
+    return EXIT_FINDINGS if gating else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -42,7 +42,16 @@ the paper at production scale:
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Type
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
 from repro.analysis.findings import Finding, ModuleContext
 
@@ -52,6 +61,8 @@ class Rule:
 
     id: str = ""
     description: str = ""
+    #: ``"error"`` findings gate CI; ``"warning"`` findings are advisory
+    severity: str = "error"
     #: directory names this rule is restricted to (None = everywhere)
     scope_dirs: Optional[FrozenSet[str]] = None
 
@@ -70,10 +81,43 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             rule=self.id,
             message=message,
+            severity=self.severity,
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs every module at once (cross-module analysis).
+
+    The engine calls :meth:`check_project` with the parsed contexts the
+    rule applies to, instead of :meth:`check` per module; findings are
+    still anchored at one (path, line) so per-line suppressions work.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, contexts: "Sequence[ModuleContext]"
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_EXTRA_RULE_MODULES_LOADED = False
+
+
+def _ensure_registered() -> None:
+    """Import the rule modules that register themselves on import.
+
+    ``repro.analysis.concurrency`` depends on this module, so it cannot
+    be imported at the top (circular import); pulling it in lazily the
+    first time the registry is consulted keeps registration automatic.
+    """
+    global _EXTRA_RULE_MODULES_LOADED
+    if _EXTRA_RULE_MODULES_LOADED:
+        return
+    _EXTRA_RULE_MODULES_LOADED = True
+    import repro.analysis.concurrency  # noqa: F401  (registers rules)
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
@@ -87,15 +131,18 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 
 def all_rule_ids() -> List[str]:
+    _ensure_registered()
     return sorted(_REGISTRY)
 
 
 def rule_description(rule_id: str) -> str:
+    _ensure_registered()
     return _REGISTRY[rule_id].description
 
 
 def make_rules(only: Optional[Set[str]] = None) -> List[Rule]:
     """Instantiate registered rules, optionally restricted to ``only``."""
+    _ensure_registered()
     if only is not None:
         unknown = only - set(_REGISTRY)
         if unknown:
@@ -503,7 +550,15 @@ class MultiprocessingOutsideParallelRule(Rule):
                         )
             elif isinstance(node, ast.ImportFrom) and node.module:
                 root = node.module.split(".", 1)[0]
-                if root in self._FORBIDDEN_ROOTS:
+                if root in self._FORBIDDEN_ROOTS and not (
+                    node.module == "concurrent.futures"
+                    and all(
+                        alias.name == "ThreadPoolExecutor"
+                        for alias in node.names
+                    )
+                ):
+                    # Thread pools are threading's jurisdiction (the
+                    # threading-outside-serve rule), not process pools'.
                     yield self.finding(
                         ctx,
                         node,
@@ -517,18 +572,24 @@ class MultiprocessingOutsideParallelRule(Rule):
 class ThreadingOutsideServeRule(Rule):
     id = "threading-outside-serve"
     description = (
-        "threading imported outside repro.serve; lock discipline and "
-        "snapshot publication ordering live there — serve concurrent "
-        "reads through repro.serve.ServingIndex"
+        "threading (or a thread-pool / queue primitive) imported "
+        "outside repro.serve; lock discipline and snapshot publication "
+        "ordering live there — serve concurrent reads through "
+        "repro.serve.ServingIndex"
     )
 
     _FORBIDDEN_ROOTS = frozenset({"threading", "_thread"})
+    #: thread-adjacent primitives allowed in serve *and* parallel
+    _POOL_ROOTS = frozenset({"queue"})
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        # repro.serve is the one sanctioned home of threads and locks.
+        # repro.serve is the one sanctioned home of threads and locks;
+        # the thread-pool/queue checks additionally exempt
+        # repro.parallel.  A module inside serve never fires.
         return "serve" not in ctx.package_parts
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        check_pools = "parallel" not in ctx.package_parts
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -541,6 +602,14 @@ class ThreadingOutsideServeRule(Rule):
                             "concurrency belongs to "
                             "repro.serve.ServingIndex",
                         )
+                    elif check_pools and root in self._POOL_ROOTS:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` outside repro.serve / "
+                            "repro.parallel; thread coordination belongs "
+                            "to repro.serve.ServingIndex",
+                        )
             elif isinstance(node, ast.ImportFrom) and node.module:
                 root = node.module.split(".", 1)[0]
                 if root in self._FORBIDDEN_ROOTS:
@@ -551,3 +620,38 @@ class ThreadingOutsideServeRule(Rule):
                         "repro.serve; concurrency belongs to "
                         "repro.serve.ServingIndex",
                     )
+                elif check_pools and root in self._POOL_ROOTS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`from {node.module} import ...` outside "
+                        "repro.serve / repro.parallel; thread "
+                        "coordination belongs to repro.serve.ServingIndex",
+                    )
+                elif (
+                    check_pools
+                    and node.module == "concurrent.futures"
+                    and any(
+                        alias.name == "ThreadPoolExecutor"
+                        for alias in node.names
+                    )
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "`ThreadPoolExecutor` imported outside repro.serve "
+                        "/ repro.parallel; thread fan-out belongs to "
+                        "repro.serve.ServingIndex",
+                    )
+            elif (
+                check_pools
+                and isinstance(node, ast.Attribute)
+                and node.attr == "ThreadPoolExecutor"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "concurrent.futures.ThreadPoolExecutor used outside "
+                    "repro.serve / repro.parallel; thread fan-out belongs "
+                    "to repro.serve.ServingIndex",
+                )

@@ -41,8 +41,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _FALSY = frozenset({"", "0", "false", "off", "no"})
 
-#: the active metrics registry; ``None`` = observability disabled
-REGISTRY: Optional["MetricsRegistry"] = None
+#: the active metrics registry; ``None`` = observability disabled.
+#: Swapped wholesale by enable()/disable(); hot paths read the
+#: reference once and act on the bound value, so a concurrent swap is
+#: harmless (CPython name rebinding is atomic).
+REGISTRY: Optional["MetricsRegistry"] = None  # guarded-by: atomic-ref
 
 
 class _ThreadLocalState(threading.local):
@@ -50,7 +53,7 @@ class _ThreadLocalState(threading.local):
 
     def __init__(self) -> None:
         #: the innermost active per-query stats collector (or ``None``)
-        self.active_stats: Optional["QueryStats"] = None
+        self.active_stats: Optional["QueryStats"] = None  # guarded-by: thread-local
 
 
 _STATE = _ThreadLocalState()

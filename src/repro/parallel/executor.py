@@ -42,8 +42,10 @@ class PieceExecutor:
     """
 
     def __init__(self, jobs: Optional[int] = None) -> None:
-        self.jobs = resolve_jobs(jobs)
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self.jobs = resolve_jobs(jobs)  # guarded-by: immutable-after-publish
+        #: lazily created pool; executors are driven by their owning
+        #: build thread, never shared across threads
+        self._pool: Optional[ProcessPoolExecutor] = None  # guarded-by: thread-local
 
     # ------------------------------------------------------------------
     @property

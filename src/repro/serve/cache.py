@@ -45,9 +45,10 @@ than the queries they shortcut.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.analysis.tsan import monitored, new_lock
 
 __all__ = ["CacheEntry", "QueryCache", "canonical_query"]
 
@@ -63,6 +64,7 @@ def canonical_query(kind: str, q: Tuple[int, ...], extra: Hashable = None) -> Ca
     return (kind, tuple(sorted(set(q))), extra)
 
 
+@monitored
 class CacheEntry:
     """One cached answer plus the metadata needed for invalidation."""
 
@@ -71,14 +73,17 @@ class CacheEntry:
     def __init__(
         self, value: object, generation: int, touch: FrozenSet[int]
     ) -> None:
-        self.value = value
-        self.generation = generation
+        self.value = value  # guarded-by: immutable-after-publish
+        #: re-stamped by :meth:`QueryCache.advance` under the owning
+        #: cache's lock when the entry provably carries over a publish
+        self.generation = generation  # guarded-by: external:QueryCache._lock
         #: vertices whose sc changes invalidate this answer (query
         #: vertices plus the answer component); empty = always dropped
         #: on publish rather than carried over
-        self.touch = touch
+        self.touch = touch  # guarded-by: immutable-after-publish
 
 
+@monitored
 class QueryCache:
     """A thread-safe, generation-aware LRU mapping query keys to answers."""
 
@@ -86,18 +91,19 @@ class QueryCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = new_lock("QueryCache._lock")
+        # guarded-by: _lock
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         #: the generation the cache currently accepts inserts for;
         #: advanced monotonically by :meth:`advance`
-        self._generation = generation
+        self._generation = generation  # guarded-by: _lock
         # Counters (mirrored into the obs registry by the serving layer).
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.carried_over = 0
-        self.stale_puts = 0
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
+        self.invalidations = 0  # guarded-by: _lock
+        self.carried_over = 0  # guarded-by: _lock
+        self.stale_puts = 0  # guarded-by: _lock
 
     @property
     def generation(self) -> int:
@@ -225,7 +231,11 @@ class QueryCache:
             }
 
     def __repr__(self) -> str:
+        # Snapshot once under the lock: reading the counters directly
+        # here would race with concurrent get/put.
+        stats = self.stats()
         return (
-            f"QueryCache(size={len(self)}, capacity={self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"QueryCache(size={stats['size']}, "
+            f"capacity={stats['capacity']}, "
+            f"hits={stats['hits']}, misses={stats['misses']})"
         )

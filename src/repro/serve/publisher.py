@@ -27,9 +27,9 @@ online computation against the live graph (see
 
 from __future__ import annotations
 
-import threading
 from typing import FrozenSet, List, Optional, Set, Tuple
 
+from repro.analysis.tsan import AnyRLock, monitored, new_rlock
 from repro.core.queries import SMCCIndex
 from repro.obs import runtime as _obs
 from repro.obs.spans import span
@@ -38,22 +38,29 @@ from repro.serve.snapshot import IndexSnapshot, capture_snapshot
 __all__ = ["SnapshotPublisher"]
 
 
+@monitored
 class SnapshotPublisher:
     """Serializes writers and publishes immutable snapshots atomically."""
 
     def __init__(self, index: SMCCIndex) -> None:
-        self._index = index
+        self._index = index  # guarded-by: immutable-after-publish
         #: reentrant: degraded direct reads nest under writer-side calls
-        self._lock = threading.RLock()
-        self._generation = 0
-        self._pending_updates = 0
+        self._lock = new_rlock("SnapshotPublisher._lock")
+        self._generation = 0  # guarded-by: _lock
+        #: written under the lock; read lock-free by staleness() — an
+        #: advisory int on the per-query admission hot path
+        self._pending_updates = 0  # guarded-by: _lock [writes]
         #: vertices touched by sc changes since the last publish; None
         #: once region tracking has been abandoned for this window
-        self._affected: Optional[Set[int]] = set()
+        self._affected: Optional[Set[int]] = set()  # guarded-by: _lock
+        #: swapped under the lock; read lock-free by snapshot() — the
+        #: atomic reference publication at the heart of the design
+        # guarded-by: _lock [writes]
         self._snapshot = capture_snapshot(
             index.conn_graph, index.mst, generation=0
         )
-        self._publishing = False
+        #: advisory flag; lock-free readers only ever observe it
+        self._publishing = False  # guarded-by: _lock [writes]
 
     # ------------------------------------------------------------------
     # Reader side
@@ -76,7 +83,7 @@ class SnapshotPublisher:
         return self._publishing
 
     @property
-    def lock(self) -> "threading.RLock":
+    def lock(self) -> AnyRLock:
         """The write lock; degraded direct reads acquire it too."""
         return self._lock
 
@@ -102,6 +109,7 @@ class SnapshotPublisher:
             self._note_changes(u, v, changes)
             return changes
 
+    # guarded-by: _lock
     def _note_changes(
         self, u: int, v: int, changes: List[Tuple[int, int, int]]
     ) -> None:

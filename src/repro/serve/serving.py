@@ -25,10 +25,10 @@ All serve-side metrics land in the :mod:`repro.obs` registry under the
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.analysis.tsan import monitored, new_lock
 from repro.baselines import sc_baseline, smcc_baseline, smcc_l_baseline
 from repro.core.queries import SMCCIndex, SMCCResult
 from repro.errors import DeadlineExceededError, DisconnectedQueryError
@@ -93,22 +93,26 @@ class _Deadline:
             raise DeadlineExceededError(self.timeout, elapsed - self.timeout)
 
 
+@monitored
 class ServingIndex:
     """Concurrent, cached, deadline-aware SMCC query serving."""
 
     def __init__(
         self, index: SMCCIndex, config: Optional[ServeConfig] = None
     ) -> None:
-        self.config = config or ServeConfig()
-        self.publisher = SnapshotPublisher(index)
+        self.config = config or ServeConfig()  # guarded-by: immutable-after-publish
+        self.publisher = SnapshotPublisher(index)  # guarded-by: immutable-after-publish
+        # guarded-by: immutable-after-publish
         self.cache = QueryCache(
             self.config.cache_capacity, generation=self.publisher.generation
         )
-        self._degraded_queries = 0
+        #: bumped on the degraded path under the publisher lock; read
+        #: lock-free by stats() — an advisory health counter
+        self._degraded_queries = 0  # guarded-by: publisher.lock [writes]
         #: guards _inflight: _admit/_release run concurrently from every
         #: reader thread and += is not atomic
-        self._inflight_lock = threading.Lock()
-        self._inflight = 0
+        self._inflight_lock = new_lock("ServingIndex._inflight_lock")
+        self._inflight = 0  # guarded-by: _inflight_lock
 
     @classmethod
     def build(

@@ -25,9 +25,9 @@ Thread-safety contract:
 
 from __future__ import annotations
 
-import threading
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.tsan import monitored, new_lock
 from repro.core.queries import SMCCResult
 from repro.index.connectivity_graph import ConnectivityGraph
 from repro.index.mst import MSTIndex
@@ -38,6 +38,7 @@ Edge = Tuple[int, int]
 __all__ = ["IndexSnapshot", "capture_snapshot"]
 
 
+@monitored
 class IndexSnapshot:
     """A frozen, consistent view of the SMCC index at one generation.
 
@@ -65,16 +66,17 @@ class IndexSnapshot:
         mst: MSTIndex,
         star: MSTStar,
     ) -> None:
-        self.generation = generation
-        self.num_vertices = num_vertices
-        self.num_edges = len(edges)
+        self.generation = generation  # guarded-by: immutable-after-publish
+        self.num_vertices = num_vertices  # guarded-by: immutable-after-publish
+        self.num_edges = len(edges)  # guarded-by: immutable-after-publish
         #: the graph's edge set at capture time (sorted ``(u, v)`` keys);
         #: what a from-scratch rebuild of this generation must start from
-        self.edges = edges
+        self.edges = edges  # guarded-by: immutable-after-publish
         #: the frozen MST* read structure (lock-free concurrent queries)
-        self.star = star
-        self._mst = mst
-        self._mst_lock = threading.Lock()
+        self.star = star  # guarded-by: immutable-after-publish
+        self._mst = mst  # guarded-by: immutable-after-publish
+        #: serializes the MST-walk queries (shared epoch scratch arrays)
+        self._mst_lock = new_lock("IndexSnapshot._mst_lock")
 
     # ------------------------------------------------------------------
     # Lock-free queries (MST*-backed; frozen arrays only)

@@ -20,6 +20,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.tsan import new_lock
 from repro.errors import QueryError
 from repro.obs.timing import Stopwatch
 from repro.serve.serving import ServingIndex
@@ -181,7 +182,7 @@ def run_serve_workload(
         "updates_applied": 0,
         "publishes": 0,
     }
-    lock = threading.Lock()
+    lock = new_lock("serve.workload.counts")
     parties = spec.readers + (1 if spec.updates > 0 else 0)
     start = threading.Barrier(parties + 1)  # +1: the timing thread below
     threads = [

@@ -209,6 +209,32 @@ CORPUS = [
         ),
         3,
     ),
+    (
+        "threading-outside-serve",
+        "core/tpe_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def fanout(fn, items):
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    return list(pool.map(fn, items))
+            """
+        ),
+        3,
+    ),
+    (
+        "threading-outside-serve",
+        "index/queue_snippet.py",
+        FUTURE + textwrap.dedent(
+            """
+            import queue
+
+            PENDING = queue.Queue()
+            """
+        ),
+        3,
+    ),
 ]
 
 
@@ -278,6 +304,38 @@ class TestRuleDetails:
             "multiprocessing-outside-parallel",
             "multiprocessing-outside-parallel",
         ]
+
+    def test_thread_pools_allowed_inside_serve_and_parallel(self):
+        source = FUTURE + (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "import queue\n"
+        )
+        # Thread pools and queues are sanctioned in serve *and*
+        # parallel (the multiprocessing rule defers ThreadPoolExecutor
+        # to the threading rule, so serve stays clean too) ...
+        assert lint_source(source, path="serve/workers.py") == []
+        assert lint_source(source, path="parallel/pool.py") == []
+        # ... and rejected everywhere else.
+        findings = lint_source(source, path="index/snippet.py")
+        assert [f.rule for f in findings] == [
+            "threading-outside-serve",
+            "threading-outside-serve",
+        ]
+
+    def test_thread_pool_attribute_flagged_outside_serve(self):
+        source = FUTURE + (
+            "import concurrent.futures\n"
+            "def fanout():\n"
+            "    return concurrent.futures.ThreadPoolExecutor(max_workers=2)\n"
+        )
+        findings = lint_source(source, path="index/snippet.py")
+        # The bare import trips the process-pool rule; the attribute
+        # use additionally trips the thread-pool check.
+        assert "threading-outside-serve" in {f.rule for f in findings}
+        assert any(
+            f.rule == "threading-outside-serve" and f.line == 4
+            for f in findings
+        )
 
     def test_pop_zero_outside_loop_not_flagged(self):
         source = FUTURE + "def f(xs):\n    return xs.pop(0)\n"

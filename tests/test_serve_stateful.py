@@ -287,6 +287,35 @@ def test_final_generation_matches_live_graph():
     assert serving.staleness() == 0
 
 
+def test_round_under_lock_sanitizer():
+    """One full interleaving with the runtime lock sanitizer armed.
+
+    Programmatic ``enable()`` arms the lock factories, so every lock a
+    fresh :class:`ServingIndex` creates is instrumented: a lock-order
+    inversion or a guard violation on this schedule raises
+    :class:`TsanError` inside a thread and fails the round.  (The CI
+    concurrency job additionally runs the whole suite with
+    ``REPRO_TSAN=1``, which also arms the per-attribute guard checks —
+    those bind at import time.)
+    """
+    from repro.analysis import tsan
+
+    was_enabled = tsan.enabled()
+    if not was_enabled:
+        tsan.enable()
+    try:
+        verified = _run_round(777)
+        assert verified > 0
+        graph = random_connected_graph(778, min_n=8, max_n=10)
+        serving = ServingIndex.build(graph)
+        assert isinstance(serving.cache._lock, tsan.SanitizedLock)
+        assert isinstance(serving.publisher.lock, tsan.SanitizedRLock)
+    finally:
+        if not was_enabled:
+            tsan.disable()
+            tsan.reset()
+
+
 @pytest.mark.serve_stress
 @pytest.mark.parametrize("seed", range(1000, 1020))
 def test_serve_stateful_stress(seed):
