@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Compare a fresh bench artifact against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_drift.py BENCH_build.json fresh_build.json
+    python scripts/check_bench_drift.py BENCH_serve.json fresh_serve.json \
+        --tolerance 0.5
+
+Two layers of checks:
+
+- **invariants** are compared exactly and always enforced: the bench
+  kind, the workload spec (same generator/size/seed — a drifted
+  workload makes the timing comparison meaningless), and the
+  correctness outcomes (``identical_weights`` for the build bench,
+  ``query_errors == 0`` for the serve bench);
+- **performance** is compared as a ratio and enforced only within
+  ``--tolerance``: the candidate may be up to ``(1 - tolerance)``
+  slower than the baseline before the script fails.  Timing on shared
+  CI boxes is noisy, so the default tolerance is generous (0.5 = the
+  candidate must stay within 2x of the baseline).
+
+Exit status 0 = no drift, 1 = drift or invariant violation, 2 = bad
+invocation/artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Tuple
+
+EXIT_OK = 0
+EXIT_DRIFT = 1
+EXIT_ERROR = 2
+
+# (json pointer, higher-is-better) performance metrics per bench kind.
+PERF_METRICS = {
+    "build": [
+        (("speedup",), True),
+        (("serial_seconds",), False),
+        (("parallel_seconds",), False),
+    ],
+    "serve": [
+        (("uncached", "throughput_qps"), True),
+        (("cached", "throughput_qps"), True),
+        (("cached_speedup",), True),
+    ],
+}
+
+
+def _get(doc, pointer: Tuple[str, ...]):
+    for key in pointer:
+        if not isinstance(doc, dict) or key not in doc:
+            return None
+        doc = doc[key]
+    return doc
+
+
+def _invariant_failures(kind: str, baseline, candidate) -> List[str]:
+    failures: List[str] = []
+    if kind == "build":
+        if candidate.get("identical_weights") is not True:
+            failures.append(
+                "correctness: parallel build no longer matches serial "
+                "(identical_weights != true)"
+            )
+        for ptr in (("workload",),):
+            if _get(baseline, ptr) != _get(candidate, ptr):
+                failures.append(
+                    f"workload drifted: {_get(baseline, ptr)!r} -> "
+                    f"{_get(candidate, ptr)!r}"
+                )
+    elif kind == "serve":
+        for phase in ("uncached", "cached"):
+            errors = _get(candidate, (phase, "query_errors"))
+            if errors != 0:
+                failures.append(
+                    f"correctness: {phase} run reported "
+                    f"{errors!r} query errors"
+                )
+        base_spec = _get(baseline, ("uncached", "spec"))
+        cand_spec = _get(candidate, ("uncached", "spec"))
+        if base_spec != cand_spec:
+            failures.append(
+                f"workload drifted: {base_spec!r} -> {cand_spec!r}"
+            )
+    return failures
+
+
+def _perf_failures(
+    kind: str, baseline, candidate, tolerance: float
+) -> List[str]:
+    failures: List[str] = []
+    for pointer, higher_is_better in PERF_METRICS[kind]:
+        name = ".".join(pointer)
+        base = _get(baseline, pointer)
+        cand = _get(candidate, pointer)
+        if not isinstance(base, (int, float)) or not isinstance(
+            cand, (int, float)
+        ):
+            failures.append(f"{name}: missing from baseline or candidate")
+            continue
+        if base <= 0:
+            continue  # degenerate baseline; nothing to compare against
+        ratio = cand / base if higher_is_better else base / max(cand, 1e-12)
+        status = "ok" if ratio >= 1.0 - tolerance else "DRIFT"
+        print(
+            f"  {name:32s} baseline={base:10.3f} candidate={cand:10.3f} "
+            f"ratio={ratio:5.2f}  {status}"
+        )
+        if status == "DRIFT":
+            failures.append(
+                f"{name}: regressed to {ratio:.2f}x of baseline "
+                f"(tolerance {1.0 - tolerance:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("candidate", help="freshly produced bench JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional regression before failing (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        print("tolerance must be in [0, 1)", file=sys.stderr)
+        return EXIT_ERROR
+
+    docs = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                docs.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path}: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+    baseline, candidate = docs
+
+    kind = baseline.get("bench")
+    if kind not in PERF_METRICS:
+        print(f"unknown bench kind {kind!r} in baseline", file=sys.stderr)
+        return EXIT_ERROR
+    if candidate.get("bench") != kind:
+        print(
+            f"bench kind mismatch: baseline={kind!r} "
+            f"candidate={candidate.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return EXIT_DRIFT
+
+    print(f"bench: {kind} (tolerance {args.tolerance:.2f})")
+    failures = _invariant_failures(kind, baseline, candidate)
+    failures += _perf_failures(kind, baseline, candidate, args.tolerance)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("no drift")
+    return EXIT_DRIFT if failures else EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,16 @@ from __future__ import annotations
 import ast
 import os
 import re
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.findings import ALL_RULES, Finding, ModuleContext
-from repro.analysis.rules import ProjectRule, Rule, make_rules
+from repro.analysis.rules import (
+    ProjectRule,
+    Rule,
+    StaleSuppressionRule,
+    all_rule_ids,
+    make_rules,
+)
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro-lint:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_*,\- ]+)\])?"
@@ -53,6 +59,19 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
     return suppressions
 
 
+def string_literal_lines(tree: ast.AST) -> FrozenSet[int]:
+    """Lines whose ``#`` can only be *inside* a multi-line string
+    (docstrings quote suppression examples; a line-regex scan must not
+    treat those as live).  The closing line is excluded: a trailing
+    comment there — or after a single-line string — is real code."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            end = getattr(node, "end_lineno", node.lineno) or node.lineno
+            out.update(range(node.lineno, end))
+    return frozenset(out)
+
+
 def build_context(path: str, source: str, root: Optional[str] = None) -> ModuleContext:
     """Parse ``source`` into the per-module context rules consume."""
     try:
@@ -61,12 +80,18 @@ def build_context(path: str, source: str, root: Optional[str] = None) -> ModuleC
         raise LintSyntaxError(path, exc) from exc
     rel = os.path.relpath(path, root) if root else path
     parts = tuple(part for part in rel.replace(os.sep, "/").split("/") if part)
+    inert = string_literal_lines(tree)
+    suppressions = {
+        line: rules
+        for line, rules in parse_suppressions(source).items()
+        if line not in inert
+    }
     return ModuleContext(
         path=path,
         source=source,
         tree=tree,
         package_parts=parts,
-        suppressions=parse_suppressions(source),
+        suppressions=suppressions,
     )
 
 
@@ -83,6 +108,67 @@ def lint_context(ctx: ModuleContext, rules: Sequence[Rule]) -> List[Finding]:
     return findings
 
 
+def _stale_suppression_findings(
+    contexts: Sequence[ModuleContext],
+    rules: Sequence[Rule],
+    fired: Dict[Tuple[str, int], Set[str]],
+) -> List[Finding]:
+    """Audit suppressions against the *pre-suppression* finding sets.
+
+    A named suppression is stale when a rule it names is active in this
+    run but produced no finding on that line.  A bare suppression is
+    stale when no rule at all fired on its line — audited only when the
+    full registry is active, since a partial run cannot know what the
+    missing rules would have reported.  Suppressions naming
+    ``stale-suppression`` itself opt the line out of the audit; the
+    audit's own findings are deliberately *not* routed through the
+    normal suppression filter (a bare ignore must not hide the report
+    that it is stale).
+    """
+    audit = next(
+        (rule for rule in rules if isinstance(rule, StaleSuppressionRule)), None
+    )
+    if audit is None:
+        return []
+    active = {rule.id for rule in rules}
+    full_registry = set(all_rule_ids()) <= active
+    out: List[Finding] = []
+    for ctx in contexts:
+        for line, names in sorted(ctx.suppressions.items()):
+            if audit.id in names:
+                continue
+            hit = fired.get((ctx.path, line), set())
+            if ALL_RULES in names:
+                if not full_registry or hit:
+                    continue
+                message = (
+                    "stale suppression: bare '# repro-lint: ignore' but no "
+                    "rule fires on this line; remove the comment"
+                )
+            else:
+                auditable = names & active
+                stale = sorted(auditable - hit)
+                if not stale:
+                    continue
+                message = (
+                    "stale suppression: "
+                    + ", ".join(f"'{name}'" for name in stale)
+                    + (" never fires" if len(stale) == 1 else " never fire")
+                    + " on this line; remove it from the ignore list"
+                )
+            out.append(
+                Finding(
+                    path=ctx.path,
+                    line=line,
+                    col=0,
+                    rule=audit.id,
+                    message=message,
+                    severity=audit.severity,
+                )
+            )
+    return out
+
+
 def lint_contexts(
     contexts: Sequence[ModuleContext], rules: Sequence[Rule]
 ) -> List[Finding]:
@@ -90,22 +176,31 @@ def lint_contexts(
 
     Project-rule findings are anchored at one (path, line) like any
     other finding, so the per-line suppression machinery applies — the
-    anchor module's suppressions decide.
+    anchor module's suppressions decide.  Pre-suppression finding sets
+    feed the stale-suppression audit.
     """
-    findings: List[Finding] = []
-    for ctx in contexts:
-        findings.extend(lint_context(ctx, rules))
+    raw: List[Finding] = []
     by_path = {ctx.path: ctx for ctx in contexts}
+    for ctx in contexts:
+        for rule in rules:
+            if isinstance(rule, ProjectRule) or not rule.applies_to(ctx):
+                continue
+            raw.extend(rule.check(ctx))
     for rule in rules:
         if not isinstance(rule, ProjectRule):
             continue
         applicable = [ctx for ctx in contexts if rule.applies_to(ctx)]
         if not applicable:
             continue
-        for finding in rule.check_project(applicable):
-            anchor = by_path.get(finding.path)
-            if anchor is None or not anchor.is_suppressed(finding):
-                findings.append(finding)
+        raw.extend(rule.check_project(applicable))
+    findings: List[Finding] = []
+    fired: Dict[Tuple[str, int], Set[str]] = {}
+    for finding in raw:
+        fired.setdefault((finding.path, finding.line), set()).add(finding.rule)
+        anchor = by_path.get(finding.path)
+        if anchor is None or not anchor.is_suppressed(finding):
+            findings.append(finding)
+    findings.extend(_stale_suppression_findings(contexts, rules, fired))
     findings.sort()
     return findings
 

@@ -102,6 +102,33 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
 
+class StaleSuppressionRule(Rule):
+    """Audits ``# repro-lint: ignore`` comments against what actually fired.
+
+    The engine computes this rule's findings itself (it needs the
+    *pre-suppression* finding set of every other rule): a suppression
+    naming a rule that never fires on its line — or a bare suppression
+    on a line with no findings at all — is stale and rots silently.
+    Registered like any other rule so ``--rules`` / ``--list-rules`` and
+    per-line suppressions apply; :meth:`check` is intentionally empty.
+
+    Named suppressions are only audited when the named rule is active in
+    the current run; bare suppressions only when the full registry is
+    (a ``--rules`` subset cannot prove a suppression useless).
+    """
+
+    id = "stale-suppression"
+    description = (
+        "a # repro-lint: ignore comment whose named rules never fire on "
+        "its line (or a bare ignore on a line with no findings): stale "
+        "suppressions hide future regressions and must be removed"
+    )
+    severity = "warning"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())  # the engine computes the audit
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 _EXTRA_RULE_MODULES_LOADED = False
 
@@ -118,6 +145,7 @@ def _ensure_registered() -> None:
         return
     _EXTRA_RULE_MODULES_LOADED = True
     import repro.analysis.concurrency  # noqa: F401  (registers rules)
+    import repro.analysis.immutability  # noqa: F401  (registers rules)
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
@@ -128,6 +156,11 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
         raise ValueError(f"duplicate rule id {rule_cls.id!r}")
     _REGISTRY[rule_cls.id] = rule_cls
     return rule_cls
+
+
+# StaleSuppressionRule is declared above ``register`` (the engine
+# imports it by name), so it registers here rather than by decorator.
+register(StaleSuppressionRule)
 
 
 def all_rule_ids() -> List[str]:

@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 
-class EulerTourLCA:
+class EulerTourLCA:  # deep-frozen
     """O(1) LCA over a rooted forest given parent pointers.
 
     Parameters
@@ -28,7 +28,7 @@ class EulerTourLCA:
         ``parents[v]`` is the parent of node ``v``, or -1 for roots.
     """
 
-    def __init__(self, parents: Sequence[int]) -> None:
+    def __init__(self, parents: Sequence[int]) -> None:  # escape: borrowed
         n = len(parents)
         self.n = n
         children: List[List[int]] = [[] for _ in range(n)]

@@ -38,15 +38,15 @@ from repro.obs import runtime as _obs
 from repro.util.disjoint_set import DisjointSetWithRoot
 
 
-class MSTStar:
+class MSTStar:  # frozen-after: _batch_arrays
     """The MST* tree with O(1) LCA, answering sc queries in O(|q|)."""
 
     def __init__(
         self,
         num_leaves: int,
-        parents: List[int],
-        weights: List[int],
-        tree_edge_of_node: List[Optional[Tuple[int, int]]],
+        parents: List[int],  # escape: owned
+        weights: List[int],  # escape: owned
+        tree_edge_of_node: List[Optional[Tuple[int, int]]],  # escape: owned
     ) -> None:
         #: number of vertex-type (leaf) nodes == |V| of the base graph
         self.num_leaves = num_leaves
@@ -323,7 +323,7 @@ class MSTStar:
                     )
 
 
-def build_mst_star(mst: MSTIndex) -> MSTStar:
+def build_mst_star(mst: MSTIndex) -> MSTStar:  # escape: borrowed
     """Algorithm 12: build MST* bottom-up from the MST in O(|V|).
 
     Handles spanning forests: each MST component yields its own MST*

@@ -62,6 +62,10 @@ def _load_npz(path: PathLike, fields: Tuple[str, ...]) -> Iterator[Dict[str, np.
                 raise IndexPersistenceError(
                     path, f"field {field!r} is unreadable ({exc})"
                 ) from exc
+            # Loaded arrays are shared between the index and any snapshot
+            # that captures them; hand them out read-only so an in-place
+            # write raises instead of corrupting every alias.
+            extracted[field].setflags(write=False)
         yield extracted
     finally:
         data.close()
@@ -136,8 +140,12 @@ def load_mst(path: PathLike) -> MSTIndex:
         non_tree = _check_edge_rows(
             path, "non_tree", data["non_tree"], n, min_weight=1
         )
+        # Copies detach from the closing archive; ndarray.copy() always
+        # comes back writeable, so re-apply the read-only contract.
         tree = tree.copy()
         non_tree = non_tree.copy()
+        tree.setflags(write=False)
+        non_tree.setflags(write=False)
     if tree.shape[0] >= max(n, 1):
         raise IndexPersistenceError(
             path, f"{tree.shape[0]} tree edges cannot form a forest over "
@@ -192,6 +200,7 @@ def load_connectivity_graph(path: PathLike) -> ConnectivityGraph:
         n = _scalar_num_vertices(path, data["num_vertices"])
         rows = _check_edge_rows(path, "edges", data["edges"], n, min_weight=1)
         rows = rows.copy()
+        rows.setflags(write=False)
     graph = Graph(n)
     sc: Dict[Tuple[int, int], int] = {}
     for u, v, w in rows.tolist():

@@ -48,6 +48,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
+from repro.analysis.freeze import maybe_deep_freeze
 from repro.analysis.tsan import monitored, new_lock
 
 __all__ = ["CacheEntry", "QueryCache", "canonical_query"]
@@ -71,8 +72,12 @@ class CacheEntry:
     __slots__ = ("value", "generation", "touch")
 
     def __init__(
-        self, value: object, generation: int, touch: FrozenSet[int]
+        self,
+        value: object,  # escape: owned
+        generation: int,
+        touch: FrozenSet[int],
     ) -> None:
+        # deep-frozen
         self.value = value  # guarded-by: immutable-after-publish
         #: re-stamped by :meth:`QueryCache.advance` under the owning
         #: cache's lock when the entry provably carries over a publish
@@ -80,6 +85,7 @@ class CacheEntry:
         #: vertices whose sc changes invalidate this answer (query
         #: vertices plus the answer component); empty = always dropped
         #: on publish rather than carried over
+        # deep-frozen
         self.touch = touch  # guarded-by: immutable-after-publish
 
 
@@ -133,7 +139,7 @@ class QueryCache:
     def put(
         self,
         key: CacheKey,
-        value: object,
+        value: object,  # escape: owned
         generation: int,
         touch: FrozenSet[int] = frozenset(),
     ) -> None:
@@ -151,7 +157,12 @@ class QueryCache:
             if generation != self._generation:
                 self.stale_puts += 1
                 return
-            self._entries[key] = CacheEntry(value, generation, touch)
+            # Under REPRO_FREEZE the resident value is deep-frozen: cached
+            # answers are shared across reader threads, so a reader
+            # mutating one would corrupt every later hit.
+            self._entries[key] = CacheEntry(
+                maybe_deep_freeze(value), generation, touch
+            )
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)

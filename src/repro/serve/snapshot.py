@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis.freeze import maybe_deep_freeze
 from repro.analysis.tsan import monitored, new_lock
 from repro.core.queries import SMCCResult
 from repro.index.connectivity_graph import ConnectivityGraph
@@ -39,7 +40,7 @@ __all__ = ["IndexSnapshot", "capture_snapshot"]
 
 
 @monitored
-class IndexSnapshot:
+class IndexSnapshot:  # deep-frozen
     """A frozen, consistent view of the SMCC index at one generation.
 
     Instances are created by :func:`capture_snapshot` (always under the
@@ -62,9 +63,9 @@ class IndexSnapshot:
         self,
         generation: int,
         num_vertices: int,
-        edges: Tuple[Edge, ...],
-        mst: MSTIndex,
-        star: MSTStar,
+        edges: Tuple[Edge, ...],  # escape: owned
+        mst: MSTIndex,  # escape: owned
+        star: MSTStar,  # escape: owned
     ) -> None:
         self.generation = generation  # guarded-by: immutable-after-publish
         self.num_vertices = num_vertices  # guarded-by: immutable-after-publish
@@ -133,10 +134,10 @@ class IndexSnapshot:
 
 
 def capture_snapshot(
-    conn_graph: ConnectivityGraph,
-    mst: MSTIndex,
+    conn_graph: ConnectivityGraph,  # escape: borrowed
+    mst: MSTIndex,  # escape: borrowed
     generation: int,
-    star: Optional[MSTStar] = None,
+    star: Optional[MSTStar] = None,  # escape: owned
 ) -> IndexSnapshot:
     """Deep-freeze the current index state into an :class:`IndexSnapshot`.
 
@@ -150,6 +151,12 @@ def capture_snapshot(
       (:meth:`MSTIndex._ensure_derived`),
     - the MST* tree plus its Euler-tour LCA tables,
     - the numpy gather arrays behind ``sc_pairs_batch``.
+
+    Under ``REPRO_FREEZE=1`` (:mod:`repro.analysis.freeze`) the captured
+    object graph is additionally deep-frozen at publish time: ndarrays
+    become read-only and containers become raising proxies, so any
+    later in-place write — including one through an accidental alias of
+    the live writer index — fails at its exact call site.
     """
     frozen = MSTIndex(mst.n)
     for u, v, w in mst.tree_edges():
@@ -161,10 +168,11 @@ def capture_snapshot(
         star = build_mst_star(frozen)
     star._batch_arrays()
     edges = tuple(sorted(conn_graph.graph.edges()))
-    return IndexSnapshot(
+    snapshot = IndexSnapshot(
         generation=generation,
         num_vertices=conn_graph.num_vertices,
         edges=edges,
         mst=frozen,
         star=star,
     )
+    return maybe_deep_freeze(snapshot)

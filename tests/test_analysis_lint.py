@@ -484,3 +484,139 @@ class TestCLI:
             env=env,
         )
         assert proc.returncode == EXIT_CLEAN, proc.stdout + proc.stderr
+
+
+class TestStaleSuppressionAudit:
+    """The engine-level audit of ``# repro-lint: ignore`` comments."""
+
+    STALE_NAMED = FUTURE + "x = 1  # repro-lint: ignore[bare-assert]\n"
+    STALE_BARE = FUTURE + "x = 1  # repro-lint: ignore\n"
+    USED = FUTURE + textwrap.dedent(
+        """
+        def f(x):
+            assert x  # repro-lint: ignore[bare-assert]
+        """
+    )
+
+    def test_stale_named_suppression_flagged(self):
+        findings = lint_source(self.STALE_NAMED, path="core/mod.py")
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert findings[0].line == 2
+        assert findings[0].severity == "warning"
+        assert "'bare-assert' never fires" in findings[0].message
+
+    def test_stale_bare_suppression_flagged_under_full_registry(self):
+        findings = lint_source(self.STALE_BARE, path="core/mod.py")
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "bare '# repro-lint: ignore'" in findings[0].message
+
+    def test_used_suppression_not_flagged(self):
+        assert lint_source(self.USED, path="core/mod.py") == []
+
+    def test_used_bare_suppression_not_flagged(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def f(x):
+                assert x  # repro-lint: ignore
+            """
+        )
+        assert lint_source(src, path="core/mod.py") == []
+
+    def test_named_rule_audited_only_when_active(self):
+        # A partial run that does not include bare-assert cannot know
+        # whether the suppression is stale, so it must stay silent.
+        findings = lint_source(
+            self.STALE_NAMED,
+            path="core/mod.py",
+            only={"float-equality", "stale-suppression"},
+        )
+        assert findings == []
+
+    def test_bare_suppression_not_audited_on_partial_runs(self):
+        findings = lint_source(
+            self.STALE_BARE,
+            path="core/mod.py",
+            only={"bare-assert", "stale-suppression"},
+        )
+        assert findings == []
+
+    def test_partially_stale_list_reports_only_dead_names(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def f(x):
+                assert x  # repro-lint: ignore[bare-assert, float-equality]
+            """
+        )
+        findings = lint_source(src, path="core/mod.py")
+        assert [f.rule for f in findings] == ["stale-suppression"]
+        assert "'float-equality'" in findings[0].message
+        assert "bare-assert" not in findings[0].message
+
+    def test_naming_the_audit_opts_the_line_out(self):
+        src = FUTURE + (
+            "x = 1  # repro-lint: ignore[bare-assert, stale-suppression]\n"
+        )
+        assert lint_source(src, path="core/mod.py") == []
+
+    def test_bare_ignore_cannot_hide_its_own_staleness(self):
+        # The audit's findings bypass the normal suppression filter —
+        # otherwise every bare ignore would silence its own report.
+        findings = lint_source(self.STALE_BARE, path="core/mod.py")
+        assert len(findings) == 1
+
+    def test_docstring_suppression_examples_not_audited(self):
+        src = FUTURE + textwrap.dedent(
+            '''
+            """Usage::
+
+                x = 1  # repro-lint: ignore[bare-assert]
+            """
+            '''
+        )
+        assert lint_source(src, path="core/mod.py") == []
+
+    def test_warning_severity_passes_fail_on_error(self, tmp_path, capsys):
+        target = tmp_path / "core"
+        target.mkdir()
+        (target / "mod.py").write_text(self.STALE_NAMED)
+        assert main(["--fail-on", "error", str(tmp_path)]) == EXIT_CLEAN
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+        capsys.readouterr()
+
+
+class TestImmutabilityCLI:
+    FIXTURE = FUTURE + textwrap.dedent(
+        """
+        class Snap:  # deep-frozen
+            def __init__(
+                self,
+                table,  # escape: owned
+            ) -> None:
+                self.table = table
+
+
+        def capture(
+            live,  # escape: borrowed
+        ):
+            return Snap(table=live)
+        """
+    )
+
+    def test_immutability_flag_selects_frozen_rules(self, tmp_path, capsys):
+        target = tmp_path / "serve"
+        target.mkdir()
+        (target / "mod.py").write_text(self.FIXTURE)
+        assert main(["--immutability", str(tmp_path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "[frozen-escape]" in out
+
+    def test_immutability_flag_excludes_other_rules(self, tmp_path, capsys):
+        target = tmp_path / "core"
+        target.mkdir()
+        (target / "mod.py").write_text(FUTURE + "def f(x):\n    assert x\n")
+        assert main(["--immutability", str(tmp_path)]) == EXIT_CLEAN
+        capsys.readouterr()
+
+    def test_src_repro_clean_under_immutability_cli(self, capsys):
+        assert main(["--immutability", SRC_ROOT]) == EXIT_CLEAN
+        capsys.readouterr()

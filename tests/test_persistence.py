@@ -253,3 +253,46 @@ class TestPersistenceFaults:
         victims[0].write_bytes(b"corrupted beyond recognition")
         with pytest.raises(IndexPersistenceError):
             SMCCIndex.load(directory)
+
+
+class TestLoadedArraysReadOnly:
+    """The load path must hand out read-only arrays: a stray in-place
+    write to freshly deserialized index data is state corruption, and
+    numpy's writeable flag turns it into an immediate ``ValueError``."""
+
+    def _saved_mst(self, tmp_path):
+        conn = conn_graph_sharing(paper_example_graph())
+        mst = build_mst(conn)
+        path = tmp_path / "mst.npz"
+        save_mst(mst, path)
+        return conn, path
+
+    def test_extracted_npz_fields_reject_writes(self, tmp_path):
+        from repro.index.persistence import _load_npz
+
+        _, path = self._saved_mst(tmp_path)
+        with _load_npz(path, ("num_vertices", "tree", "non_tree")) as data:
+            for field in ("tree", "non_tree"):
+                assert not data[field].flags.writeable
+                with pytest.raises(ValueError, match="read-only"):
+                    data[field][0, 0] = 99
+
+    def test_conn_graph_npz_fields_reject_writes(self, tmp_path):
+        from repro.index.persistence import _load_npz
+
+        conn, _ = self._saved_mst(tmp_path)
+        path = tmp_path / "gc.npz"
+        save_connectivity_graph(conn, path)
+        with _load_npz(path, ("num_vertices", "edges")) as data:
+            assert not data["edges"].flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                data["edges"][0, 0] = 99
+
+    def test_loaded_mst_still_queries(self, tmp_path):
+        # Read-only arrays must not break the load path itself: the
+        # loader consumes them via tolist() and rebuilds mutable
+        # adjacency, so the resulting index stays fully functional.
+        _, path = self._saved_mst(tmp_path)
+        loaded = load_mst(path)
+        assert loaded.steiner_connectivity([0, 3, 4]) == 4
+        loaded.add_tree_edge  # the writer API survives untouched
