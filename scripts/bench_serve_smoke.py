@@ -51,6 +51,7 @@ def main(argv=None) -> int:
     workload = result["workload"]
     cached = result["cached"]
     uncached = result["uncached"]
+    publish = result["publish"]
     print(f"workload: ssca n={workload['n']} m={workload['m']} "
           f"readers={workload['readers']} "
           f"queries/reader={workload['queries_per_reader']}")
@@ -62,6 +63,11 @@ def main(argv=None) -> int:
           f"hits={cached['serving_stats']['cache']['hits']}, "
           f"carried={cached['serving_stats']['cache']['carried_over']})")
     print(f"speedup  {result['cached_speedup']:.2f}x (advisory)")
+    print(f"publish  delta p50 {publish['delta_p50_seconds'] * 1e3:.2f} ms "
+          f"vs full p50 {publish['full_p50_seconds'] * 1e3:.2f} ms "
+          f"({publish['delta_vs_full_speedup']:.1f}x, "
+          f"shared={publish['delta']['mean_shared_fraction']:.2f}, "
+          f"modes={publish['delta']['modes']})")
     print(f"baseline written to {args.output}")
 
     ok = True
@@ -81,6 +87,18 @@ def main(argv=None) -> int:
                   f"(staleness={run['serving_stats']['staleness']})",
                   file=sys.stderr)
             ok = False
+    if publish["delta"]["mean_shared_fraction"] < 0.5:
+        print("FAIL: delta publishing shared "
+              f"{publish['delta']['mean_shared_fraction']:.2f} of the named "
+              "snapshot buffers on the small-region workload (need >= 0.5)",
+              file=sys.stderr)
+        ok = False
+    if not publish["delta_p50_seconds"] < publish["full_p50_seconds"]:
+        print("FAIL: delta publish p50 "
+              f"({publish['delta_p50_seconds']:.4f}s) is not below the "
+              f"full-capture p50 ({publish['full_p50_seconds']:.4f}s)",
+              file=sys.stderr)
+        ok = False
     return 0 if ok else 1
 
 

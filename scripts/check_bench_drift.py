@@ -46,6 +46,8 @@ PERF_METRICS = {
         (("uncached", "throughput_qps"), True),
         (("cached", "throughput_qps"), True),
         (("cached_speedup",), True),
+        (("publish", "delta_p50_seconds"), False),
+        (("publish", "full_p50_seconds"), False),
     ],
 }
 
@@ -85,6 +87,24 @@ def _invariant_failures(kind: str, baseline, candidate) -> List[str]:
         if base_spec != cand_spec:
             failures.append(
                 f"workload drifted: {base_spec!r} -> {cand_spec!r}"
+            )
+        shared = _get(candidate, ("publish", "delta", "mean_shared_fraction"))
+        if not isinstance(shared, (int, float)) or shared < 0.5:
+            failures.append(
+                "delta publishing: mean shared-array fraction on the "
+                f"small-region workload is {shared!r} (must be >= 0.5)"
+            )
+        delta_p50 = _get(candidate, ("publish", "delta_p50_seconds"))
+        full_p50 = _get(candidate, ("publish", "full_p50_seconds"))
+        if (
+            not isinstance(delta_p50, (int, float))
+            or not isinstance(full_p50, (int, float))
+            or not delta_p50 < full_p50
+        ):
+            failures.append(
+                "delta publishing: p50 publish latency "
+                f"({delta_p50!r}s) is not below the full-capture p50 "
+                f"({full_p50!r}s) on the small-region workload"
             )
     return failures
 

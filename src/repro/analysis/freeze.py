@@ -190,6 +190,11 @@ def deep_freeze(obj: Any, _memo: Optional[Dict[int, Any]] = None) -> Any:
         return obj
     if isinstance(obj, frozenset):
         return obj
+    if isinstance(obj, (FrozenList, FrozenDict, FrozenSetProxy)):
+        # Already frozen by an earlier capture (delta snapshots share
+        # buffers with their base); re-wrapping would break the
+        # same-object sharing guarantee.
+        return obj
     if _is_lock(obj):
         return obj
 

@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import json
 import random
-from typing import Any, Dict, Optional
+from statistics import median
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.reporting import Table
 from repro.core.queries import SMCCIndex
 from repro.errors import DisconnectedQueryError
 from repro.graph.generators import ssca_graph
 from repro.graph.graph import Graph
+from repro.obs.timing import monotonic
 from repro.serve import (
     ServeConfig,
     ServeWorkloadSpec,
@@ -91,6 +93,94 @@ def _verify_against_rebuild(serving: ServingIndex, seed: int) -> bool:
     return True
 
 
+#: publish-latency phase: fresh edges churned (each inserted, published,
+#: deleted, published — so 2x this many publishes per mode)
+PUBLISH_CHURN_EDGES = 20
+
+
+def _churn_pairs(graph: Graph, seed: int) -> List[Tuple[int, int]]:
+    """Fresh (absent) distance-2 chords — the small-region workload.
+
+    Closing a wedge ``u - v - w`` into a triangle only changes
+    steiner-connectivities inside the local component around the wedge,
+    so inserting and removing these edges touches a small MST region —
+    exactly the case delta publishing targets.  (Random far-apart pairs
+    would route through bridges and dirty regions proportional to the
+    whole graph.)
+    """
+    rng = random.Random(seed * 31 + 7)
+    n = graph.num_vertices
+    pairs: List[Tuple[int, int]] = []
+    attempts = 0
+    while len(pairs) < PUBLISH_CHURN_EDGES and attempts < 100 * PUBLISH_CHURN_EDGES:
+        attempts += 1
+        u = rng.randrange(n)
+        neighbors = list(graph.neighbors(u))
+        if not neighbors:
+            continue
+        via = rng.choice(neighbors)
+        two_hop = [w for w in graph.neighbors(via)
+                   if w != u and not graph.has_edge(u, w)]
+        if not two_hop:
+            continue
+        w = rng.choice(two_hop)
+        if (min(u, w), max(u, w)) not in {
+            (min(a, b), max(a, b)) for a, b in pairs
+        }:
+            pairs.append((u, w))
+    return pairs
+
+
+def _measure_publish(
+    graph: Graph, pairs: List[Tuple[int, int]], delta: bool
+) -> Dict[str, Any]:
+    serving = ServingIndex.build(
+        graph.copy(), config=ServeConfig(delta_publish=delta)
+    )
+    latencies: List[float] = []
+    shared: List[float] = []
+    modes: Dict[str, int] = {}
+    for u, v in pairs:
+        for op in ("insert", "delete"):
+            if op == "insert":
+                serving.apply_updates(inserts=[(u, v)])
+            else:
+                serving.apply_updates(deletes=[(u, v)])
+            started = monotonic()
+            report = serving.publish()
+            latencies.append(monotonic() - started)
+            modes[report.mode] = modes.get(report.mode, 0) + 1
+            shared.append(report.shared_fraction)
+    return {
+        "publishes": len(latencies),
+        "modes": modes,
+        "p50_seconds": median(latencies),
+        "mean_seconds": sum(latencies) / len(latencies),
+        "mean_shared_fraction": sum(shared) / len(shared),
+    }
+
+
+def run_publish_bench(graph: Graph, seed: int) -> Dict[str, Any]:
+    """Publish latency on the small-region workload: delta vs full.
+
+    Same update stream both times; only ``delta_publish`` differs.
+    """
+    pairs = _churn_pairs(graph, seed)
+    delta = _measure_publish(graph, pairs, delta=True)
+    full = _measure_publish(graph, pairs, delta=False)
+    full_p50 = full["p50_seconds"] or 0.0
+    delta_p50 = delta["p50_seconds"] or 0.0
+    return {
+        "workload": "fresh-edge insert/delete churn",
+        "churn_edges": len(pairs),
+        "delta": delta,
+        "full": full,
+        "delta_p50_seconds": delta_p50,
+        "full_p50_seconds": full_p50,
+        "delta_vs_full_speedup": (full_p50 / delta_p50) if delta_p50 else 0.0,
+    }
+
+
 def run_serve_bench(
     n: int = DEFAULT_N,
     seed: int = DEFAULT_SEED,
@@ -138,6 +228,7 @@ def run_serve_bench(
         "uncached": uncached,
         "cached": cached,
         "cached_speedup": (cached_qps / uncached_qps) if uncached_qps else 0.0,
+        "publish": run_publish_bench(graph, seed),
         "verified_against_rebuild": _verify_against_rebuild(
             cached_serving, seed
         ),
@@ -168,7 +259,8 @@ def serve_bench(profile: str = "quick") -> Table:
     table = Table(
         "Serve bench: threaded query throughput (queries/second)",
         ["Workload", "readers", "uncached qps", "cached qps",
-         "speedup", "verified"],
+         "speedup", "delta publish p50 s", "full publish p50 s",
+         "verified"],
     )
     workload = result["workload"]
     table.add_row(
@@ -177,6 +269,8 @@ def serve_bench(profile: str = "quick") -> Table:
         result["uncached"]["throughput_qps"],
         result["cached"]["throughput_qps"],
         result["cached_speedup"],
+        result["publish"]["delta_p50_seconds"],
+        result["publish"]["full_p50_seconds"],
         result["verified_against_rebuild"],
     )
     return table

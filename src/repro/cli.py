@@ -262,6 +262,7 @@ def _cmd_serve(args) -> int:
             invalidation=args.invalidation,
             default_timeout=args.timeout,
             default_max_staleness=args.max_staleness,
+            delta_publish=args.delta,
         )
         serving = ServingIndex(index, config=config)
         spec = ServeWorkloadSpec(
@@ -405,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-capacity", type=int, default=4096)
     p.add_argument("--invalidation", choices=["region", "wholesale"],
                    default="region")
+    p.add_argument("--delta", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="copy-on-write delta publishing (--no-delta forces "
+                        "a full snapshot capture on every publish)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-query deadline in seconds")
     p.add_argument("--max-staleness", type=int, default=None,

@@ -8,6 +8,11 @@ The serving layer turns the single-threaded, mutable
   on the hot path;
 - :class:`QueryCache` — a generation-aware LRU with per-region
   invalidation on publish;
+- :class:`DeltaStar` / :func:`capture_delta_snapshot` — copy-on-write
+  delta publishing: only the MST region a batch touched is rebuilt,
+  every untouched array is shared with the previous generation;
+- :class:`UpdateReport` / :class:`PublishReport` — structured results
+  of the ``apply_updates`` / ``publish`` writer surface;
 - :func:`plan_batch` / :func:`execute_batch` — batched sc evaluation
   deduplicating shared LCA probes;
 - :class:`ServingIndex` — the facade tying those together with
@@ -28,8 +33,15 @@ live in exactly one place.
 from __future__ import annotations
 
 from repro.serve.cache import CacheEntry, QueryCache, canonical_query
+from repro.serve.delta import (
+    DeltaStar,
+    capture_delta_snapshot,
+    named_buffers,
+    shared_fraction,
+)
 from repro.serve.planner import BatchPlan, execute_batch, plan_batch
 from repro.serve.publisher import SnapshotPublisher
+from repro.serve.reports import PublishReport, UpdateReport
 from repro.serve.serving import ServeConfig, ServingIndex
 from repro.serve.snapshot import IndexSnapshot, capture_snapshot
 from repro.serve.workload import ServeWorkloadSpec, run_serve_workload
@@ -37,15 +49,21 @@ from repro.serve.workload import ServeWorkloadSpec, run_serve_workload
 __all__ = [
     "BatchPlan",
     "CacheEntry",
+    "DeltaStar",
     "IndexSnapshot",
+    "PublishReport",
     "QueryCache",
     "ServeConfig",
     "ServeWorkloadSpec",
     "ServingIndex",
     "SnapshotPublisher",
+    "UpdateReport",
     "canonical_query",
+    "capture_delta_snapshot",
     "capture_snapshot",
     "execute_batch",
+    "named_buffers",
     "plan_batch",
     "run_serve_workload",
+    "shared_fraction",
 ]

@@ -1,0 +1,640 @@
+"""Copy-on-write delta snapshot publishing: region-local MST* patches.
+
+A full :func:`~repro.serve.snapshot.capture_snapshot` costs O(|V| log
+|V| + |E| log |E|): it clones the spanning forest, re-sorts every
+adjacency row, rebuilds MST* with its Euler tour and sparse table, and
+re-sorts the edge log.  But the paper's §5.2/§5.3 maintenance confines
+every sc change to the SMCC of the updated edge, and in MST* every
+k-ecc is one subtree covering one contiguous leaf-order interval — so
+after a small batch of updates, only one subtree of the *base* MST* is
+stale.  This module rebuilds exactly that subtree and grafts it over
+the base as a :class:`DeltaStar`, sharing every untouched array (leaf
+intervals, Euler tour, sparse table, jump table, numpy gathers) with
+the previous generation by object identity.
+
+The graft is sound when the **region** — the minimal base subtree
+whose leaf interval covers every vertex the MST maintenance actually
+touched — satisfies:
+
+- every current tree edge inside the region weighs at least the
+  region's *boundary weight* ``w_p`` (the base weight of the region
+  node's parent), so grafting keeps Lemma A.1's leaf-to-root weight
+  monotonicity;
+- the region's vertices are still spanned by exactly ``|L| - 1``
+  inside edges (no component split or merge leaked out of it);
+- the vertex set did not change.
+
+Then (contract the region to one super-node: the contracted tree is
+identical before and after, because every mutated tree edge has both
+endpoints inside the region):
+
+- pairs inside the region are answered by the freshly built patch;
+- every other pair's tree path crosses the region boundary only via
+  unchanged edges of weight <= ``w_p`` <= every inside weight, so the
+  base MST* answer is still exact;
+- a k-ecc with ``k > w_p`` containing a region vertex lies inside the
+  region (patch interval, offset to the region's slice); with
+  ``k <= w_p`` it contains the whole region and is read off the base.
+
+When no condition holds (or the region exceeds the configured fraction
+of |V|), the publisher falls back to a full capture — delta publishing
+is an optimization, never a semantic change.
+
+The region is derived from :class:`~repro.index.mst.MSTIndex` dirty
+tracking, *not* from the maintainer's reported SMCC: MST repair may
+swap tree edges outside ``g_{u,v}`` (the heaviest-crossing-non-tree
+replacements of cases I/II), and only the tree itself knows which rows
+it touched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    cast,
+)
+
+from repro.analysis.freeze import maybe_deep_freeze
+from repro.errors import (
+    EmptyQueryError,
+    InternalInvariantError,
+    VertexNotFoundError,
+)
+from repro.index.mst import MSTIndex
+from repro.index.mst_star import MSTStar
+from repro.serve.snapshot import IndexSnapshot
+from repro.util.disjoint_set import DisjointSetWithRoot
+
+__all__ = [
+    "DeltaStar",
+    "RegionPlan",
+    "capture_delta_snapshot",
+    "named_buffers",
+    "shared_fraction",
+]
+
+Edge = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Region planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RegionPlan:
+    """The base-MST* subtree a delta capture will rebuild."""
+
+    #: base MST* node whose subtree is replaced
+    node: int
+    #: half-open leaf-order interval of the region in the base star
+    start: int
+    end: int
+    #: base weight of the region node's parent (0 at a component root);
+    #: every current inside edge must weigh at least this much
+    boundary_weight: int
+    #: region vertices, in base leaf order (local id i <-> leaves[i])
+    leaves: List[int]
+    #: current tree edges with both endpoints in the region, as
+    #: ``(u, v, weight)`` with u < v — exactly ``len(leaves) - 1``
+    inside_edges: List[Tuple[int, int, int]]
+
+
+def _plan_region(
+    base_star: MSTStar,  # escape: borrowed
+    live: MSTIndex,  # escape: borrowed
+    dirty: Set[int],  # escape: borrowed
+    max_region: int,
+) -> Optional[RegionPlan]:
+    """Find the smallest graftable base subtree covering ``dirty``.
+
+    Climbs from a dirty leaf until the subtree interval covers every
+    dirty position, then keeps expanding while the graft conditions
+    fail.  Returns None when no subtree of at most ``max_region``
+    leaves works (caller falls back to a full capture).
+    """
+    positions = [base_star.leaf_position[v] for v in dirty]
+    lo, hi = min(positions), max(positions)
+    parents = base_star.parents
+    weights = base_star.weights
+    istart = base_star._interval_start
+    iend = base_star._interval_end
+    leaf_order = base_star.leaf_order
+    node = next(iter(dirty))
+    while not (istart[node] <= lo and iend[node] > hi):
+        parent = parents[node]
+        if parent < 0:
+            return None  # dirty leaves span base components
+        node = parent
+    while True:
+        start, end = istart[node], iend[node]
+        if end - start > max_region:
+            return None
+        leaves = leaf_order[start:end]
+        leaf_set = set(leaves)
+        parent = parents[node]
+        boundary = weights[parent] if parent >= 0 else 0
+        inside: List[Tuple[int, int, int]] = []
+        graftable = True
+        for u in leaves:
+            for v, w in live.tree_adj[u].items():
+                if v in leaf_set and u < v:
+                    if w < boundary:
+                        graftable = False
+                        break
+                    inside.append((u, v, w))
+            if not graftable:
+                break
+        if graftable and len(inside) == len(leaves) - 1:
+            return RegionPlan(
+                node=node,
+                start=start,
+                end=end,
+                boundary_weight=boundary,
+                leaves=leaves,
+                inside_edges=inside,
+            )
+        if parent < 0:
+            return None  # the component itself split or merged
+        node = parent
+
+
+def _build_region_star(
+    leaves: Sequence[int],  # escape: borrowed
+    inside_edges: Sequence[Tuple[int, int, int]],  # escape: borrowed
+) -> MSTStar:
+    """Algorithm 12 over one region, with local leaf ids 0..|L|-1.
+
+    ``tree_edge_of_node`` keeps *global* vertex ids so the patch stays
+    debuggable against the live tree.
+    """
+    local_of = {v: i for i, v in enumerate(leaves)}
+    num_leaves = len(leaves)
+    max_w = 0
+    for _, _, w in inside_edges:
+        if w > max_w:
+            max_w = w
+    buckets: List[List[Tuple[int, int, int]]] = [[] for _ in range(max_w + 1)]
+    for u, v, w in inside_edges:
+        buckets[w].append((u, v, w))
+    total = num_leaves + len(inside_edges)
+    parents = [-1] * total
+    star_weights = [0] * total
+    tree_edge_of_node: List[Optional[Edge]] = [None] * total
+    ds = DisjointSetWithRoot(num_leaves)
+    next_node = num_leaves
+    for w in range(max_w, 0, -1):
+        for u, v, _ in buckets[w]:
+            node = next_node
+            next_node += 1
+            star_weights[node] = w
+            tree_edge_of_node[node] = (u, v) if u < v else (v, u)
+            lu, lv = local_of[u], local_of[v]
+            root_u = ds.find_root(lu)
+            root_v = ds.find_root(lv)
+            parents[root_u] = node
+            parents[root_v] = node
+            ds.union_with_root(lu, lv, node)
+    star = MSTStar(num_leaves, parents, star_weights, tree_edge_of_node)
+    star._batch_arrays()
+    return star
+
+
+# ----------------------------------------------------------------------
+# The patched read structure
+# ----------------------------------------------------------------------
+class _DeltaParents:
+    """List-like parent view: patch node ids are offset past the base.
+
+    Region *leaves* resolve to their patch parent (the base internals
+    of the replaced subtree stay addressable but stale — nothing on the
+    read path reaches them, because every leaf lookup is rerouted); the
+    patch root grafts onto the base parent of the region node.
+    """
+
+    __slots__ = ("_delta",)
+
+    def __init__(self, delta: "DeltaStar") -> None:  # escape: owned
+        self._delta = delta
+
+    def __len__(self) -> int:
+        d = self._delta
+        return len(d.base.parents) + d.patch.num_nodes
+
+    def __getitem__(self, node: int) -> int:
+        d = self._delta
+        offset = len(d.base.parents)
+        if 0 <= node < d.num_leaves:
+            local = d._local_of.get(node)
+            if local is not None:
+                return offset + d.patch.parents[local]
+            return d.base.parents[node]
+        if node >= offset:
+            parent = d.patch.parents[node - offset]
+            if parent < 0:
+                return d.base.parents[d.region_node]
+            return offset + parent
+        return d.base.parents[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return (self[i] for i in range(len(self)))
+
+
+class _DeltaWeights:
+    """List-like weight view over base nodes plus offset patch nodes."""
+
+    __slots__ = ("_delta",)
+
+    def __init__(self, delta: "DeltaStar") -> None:  # escape: owned
+        self._delta = delta
+
+    def __len__(self) -> int:
+        d = self._delta
+        return len(d.base.weights) + d.patch.num_nodes
+
+    def __getitem__(self, node: int) -> int:
+        d = self._delta
+        offset = len(d.base.weights)
+        if node >= offset:
+            return d.patch.weights[node - offset]
+        return d.base.weights[node]
+
+    def __iter__(self) -> Iterator[int]:
+        return (self[i] for i in range(len(self)))
+
+
+class _DeltaEdgeOfNode:
+    """List-like ``tree_edge_of_node`` view (patch ids offset)."""
+
+    __slots__ = ("_delta",)
+
+    def __init__(self, delta: "DeltaStar") -> None:  # escape: owned
+        self._delta = delta
+
+    def __len__(self) -> int:
+        d = self._delta
+        return len(d.base.tree_edge_of_node) + d.patch.num_nodes
+
+    def __getitem__(self, node: int) -> Optional[Edge]:
+        d = self._delta
+        offset = len(d.base.tree_edge_of_node)
+        if node >= offset:
+            return d.patch.tree_edge_of_node[node - offset]
+        return d.base.tree_edge_of_node[node]
+
+    def __iter__(self) -> Iterator[Optional[Edge]]:
+        return (self[i] for i in range(len(self)))
+
+
+class DeltaStar(MSTStar):
+    """A base MST* with one subtree replaced by a freshly built patch.
+
+    Implements the full MST* read surface; every untouched structure is
+    the base's by object identity.  Only the patched ``leaf_order`` /
+    ``leaf_position`` and the O(|V|) routing array are new — everything
+    proportional to log-depth tables is shared.
+    """
+
+    def __init__(
+        self,
+        base: MSTStar,  # escape: owned
+        patch: MSTStar,  # escape: owned
+        region_node: int,
+        region_start: int,
+        region_end: int,
+        boundary_weight: int,
+        region_leaves: List[int],  # escape: owned
+    ) -> None:
+        # MSTStar.__init__ is deliberately not called: the whole point
+        # is to not rebuild the base tables this class shares.
+        self.base = base
+        self.patch = patch
+        self.region_node = region_node
+        self.region_start = region_start
+        self.region_end = region_end
+        self.boundary_weight = boundary_weight
+        self.num_leaves = base.num_leaves
+        #: local patch leaf id i  <->  global vertex _global_of[i]
+        self._global_of = region_leaves
+        self._local_of: Dict[int, int] = {
+            v: i for i, v in enumerate(region_leaves)
+        }
+        # Patched leaf order: the base order with the region slice
+        # replaced by the patch's DFS order, mapped back to global ids.
+        leaf_order = list(base.leaf_order)
+        leaf_order[region_start:region_end] = [
+            region_leaves[local] for local in patch.leaf_order
+        ]
+        self.leaf_order = leaf_order
+        leaf_position = list(base.leaf_position)
+        for pos in range(region_start, region_end):
+            leaf_position[leaf_order[pos]] = pos
+        self.leaf_position = leaf_position
+        self.parents = cast(List[int], _DeltaParents(self))
+        self.weights = cast(List[int], _DeltaWeights(self))
+        self.tree_edge_of_node = cast(
+            List[Optional[Edge]], _DeltaEdgeOfNode(self)
+        )
+        # Routing array for the vectorized batch path: local patch leaf
+        # id, or -1 outside the region.  Built eagerly so the capture
+        # freezes it along with everything else.
+        import numpy as np
+
+        local_map = np.full(self.num_leaves, -1, dtype=np.int64)
+        for v, local in self._local_of.items():
+            local_map[v] = local
+        self._local_map = local_map
+        base._batch_arrays()
+        patch._batch_arrays()
+
+    # -- queries -------------------------------------------------------
+    def steiner_connectivity(self, q: Sequence[int]) -> int:
+        q = list(dict.fromkeys(q))
+        if not q:
+            raise EmptyQueryError("query vertex set is empty")
+        for v in q:
+            if not (0 <= v < self.num_leaves):
+                raise VertexNotFoundError(v)
+        local_of = self._local_of
+        if len(q) == 1:
+            local = local_of.get(q[0])
+            if local is None:
+                return self.base.steiner_connectivity(q)
+            parent = self.patch.parents[local]
+            if parent < 0:  # |L| >= 2 and connected: cannot happen
+                raise InternalInvariantError(
+                    "region patch leaf has no parent"
+                )
+            return self.patch.weights[parent]
+        if all(v in local_of for v in q):
+            return self.patch.steiner_connectivity(
+                [local_of[v] for v in q]
+            )
+        if not any(v in local_of for v in q):
+            return self.base.steiner_connectivity(q)
+        # Mixed query: SC-OPT's pairwise decomposition, each pair
+        # routed to the structure that is exact for it.
+        v0 = q[0]
+        best: Optional[int] = None
+        for v in q[1:]:
+            w = self.sc_pair(v0, v)
+            if best is None or w < best:
+                best = w
+        if best is None:  # unreachable: |q| >= 2
+            raise InternalInvariantError(
+                "delta-star scan over a multi-vertex query gave no weight"
+            )
+        return best
+
+    def sc_pair(self, u: int, v: int) -> int:
+        if u == v:
+            raise ValueError("sc of a vertex with itself is undefined")
+        local_u = self._local_of.get(u)
+        local_v = self._local_of.get(v)
+        if local_u is not None and local_v is not None:
+            return self.patch.sc_pair(local_u, local_v)
+        return self.base.sc_pair(u, v)
+
+    def sc_pairs_batch(self, us, vs):
+        import numpy as np
+
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape:
+            raise ValueError("us and vs must have the same shape")
+        if us.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if (us < 0).any() or (us >= self.num_leaves).any() or \
+           (vs < 0).any() or (vs >= self.num_leaves).any():
+            raise VertexNotFoundError(int(us.max()))
+        if (us == vs).any():
+            raise ValueError("sc of a vertex with itself is undefined")
+        local_map = self._local_map
+        local_us = local_map[us]
+        local_vs = local_map[vs]
+        both = (local_us >= 0) & (local_vs >= 0)
+        out = np.empty(us.size, dtype=np.int64)
+        if bool(both.any()):
+            out[both] = self.patch.sc_pairs_batch(
+                local_us[both], local_vs[both]
+            )
+        rest = ~both
+        if bool(rest.any()):
+            out[rest] = self.base.sc_pairs_batch(us[rest], vs[rest])
+        return out
+
+    def component_node(self, vertex: int, k: int) -> int:
+        if not (0 <= vertex < self.num_leaves):
+            raise VertexNotFoundError(vertex)
+        if k <= 0:
+            raise ValueError(f"k must be >= 1, got {k}")
+        local = self._local_of.get(vertex)
+        if local is not None and k > self.boundary_weight:
+            return len(self.base.parents) + self.patch.component_node(
+                local, k
+            )
+        return self.base.component_node(vertex, k)
+
+    def component_interval(self, vertex: int, k: int) -> Tuple[int, int]:
+        local = self._local_of.get(vertex)
+        if local is not None and k > self.boundary_weight:
+            # k exceeds every boundary-crossing weight: the k-ecc lies
+            # inside the region, at the region's offset in leaf order.
+            start, end = self.patch.component_interval(local, k)
+            return self.region_start + start, self.region_start + end
+        # k <= w_p: the k-ecc contains the whole (contracted) region,
+        # so the base climb — whose stale inside weights all exceed
+        # w_p >= k — lands on the correct unchanged ancestor.
+        return self.base.component_interval(vertex, k)
+
+    def _batch_arrays(self):
+        raise InternalInvariantError(
+            "DeltaStar has no merged gather arrays; sc_pairs_batch "
+            "routes to the base/patch tables instead"
+        )
+
+    def validate(self) -> None:
+        self.base.validate()
+        self.patch.validate()
+        for node in range(self.patch.num_leaves, self.patch.num_nodes):
+            if self.patch.weights[node] < self.boundary_weight:
+                raise AssertionError(
+                    "patch weight below the region boundary weight"
+                )
+
+
+# ----------------------------------------------------------------------
+# Delta capture
+# ----------------------------------------------------------------------
+def _clone_frozen_mst(
+    live: MSTIndex,  # escape: borrowed
+    base_mst: MSTIndex,  # escape: owned — frozen rows are shared as-is
+    dirty: Set[int],  # escape: borrowed
+) -> MSTIndex:
+    """Copy-on-write clone of the frozen base MST at the live state.
+
+    Untouched adjacency rows (plain or frozen) are shared by identity
+    with the base snapshot's clone; only the ``dirty`` rows are copied
+    from the live tree and re-sorted.  The rooted arrays are rebuilt
+    with one O(|V|) BFS — no per-vertex re-sorting.  ``non_tree`` stays
+    empty: no snapshot read path consults it.  The epoch scratch is
+    fresh per clone, so concurrent ``smcc_l`` on different generations
+    never share marks.
+    """
+    n = live.n
+    clone = MSTIndex(n)
+    tree_adj: List[Dict[int, int]] = list(base_mst.tree_adj)
+    base_sorted = base_mst._sorted_adj
+    if base_sorted is None:  # pre-built at capture time; never None here
+        raise InternalInvariantError(
+            "base snapshot MST is missing its derived read structures"
+        )
+    sorted_adj: List[List[Tuple[int, int]]] = list(base_sorted)
+    for v in dirty:
+        row = dict(live.tree_adj[v])
+        tree_adj[v] = row
+        sorted_adj[v] = sorted(
+            ((w, nbr) for nbr, w in row.items()), reverse=True
+        )
+    clone.tree_adj = tree_adj
+    clone._sorted_adj = sorted_adj
+    # The BFS of MSTIndex._ensure_derived against the patched rows.
+    parent = [-1] * n
+    parent_weight = [0] * n
+    level = [0] * n
+    component = [-1] * n
+    roots: List[int] = []
+    for start in range(n):
+        if component[start] >= 0:
+            continue
+        roots.append(start)
+        comp_id = len(roots) - 1
+        component[start] = comp_id
+        queue = deque((start,))
+        while queue:
+            u = queue.popleft()
+            for v, w in tree_adj[u].items():
+                if component[v] < 0:
+                    component[v] = comp_id
+                    parent[v] = u
+                    parent_weight[v] = w
+                    level[v] = level[u] + 1
+                    queue.append(v)
+    clone._parent = parent
+    clone._parent_weight = parent_weight
+    clone._level = level
+    clone._component = component
+    clone._roots = roots
+    return clone
+
+
+def capture_delta_snapshot(
+    base_snapshot: IndexSnapshot,  # escape: owned — shared into the result
+    live: MSTIndex,  # escape: borrowed
+    generation: int,
+    num_vertices: int,
+    edges: Tuple[Edge, ...],  # escape: owned
+    region_fraction_limit: float,
+) -> Optional[Tuple[IndexSnapshot, int]]:
+    """Capture a delta snapshot against the last *full* base.
+
+    Returns ``(snapshot, region_size)``, or None when a delta is not
+    sound/profitable and the caller must fall back to a full capture:
+    dirty tracking is off, the vertex set changed, the dirty leaves
+    span base components, the region is not graftable, or it exceeds
+    ``region_fraction_limit`` of |V|.
+    """
+    dirty = live.dirty_vertices
+    if dirty is None or live.dirty_structure:
+        return None
+    base_star = base_snapshot.star
+    if live.n != base_star.num_leaves or num_vertices != base_star.num_leaves:
+        return None
+    if not dirty:
+        # Pure non-tree churn: the tree — hence every sc answer — is
+        # unchanged.  Share the whole base star; only the edge log and
+        # the scratch-carrying MST clone are refreshed.
+        star: MSTStar = base_star
+        clone = _clone_frozen_mst(live, base_snapshot._mst, set())
+        region_size = 0
+    else:
+        max_region = int(region_fraction_limit * live.n)
+        plan = _plan_region(base_star, live, dirty, max_region)
+        if plan is None:
+            return None
+        patch = _build_region_star(plan.leaves, plan.inside_edges)
+        star = DeltaStar(
+            base_star,
+            patch,
+            region_node=plan.node,
+            region_start=plan.start,
+            region_end=plan.end,
+            boundary_weight=plan.boundary_weight,
+            region_leaves=plan.leaves,
+        )
+        clone = _clone_frozen_mst(live, base_snapshot._mst, dirty)
+        region_size = len(plan.leaves)
+    snapshot = IndexSnapshot(
+        generation=generation,
+        num_vertices=num_vertices,
+        edges=edges,
+        mst=clone,
+        star=star,
+    )
+    return maybe_deep_freeze(snapshot), region_size
+
+
+# ----------------------------------------------------------------------
+# Shared-buffer accounting
+# ----------------------------------------------------------------------
+def named_buffers(snapshot: IndexSnapshot) -> Dict[str, object]:  # escape: borrowed
+    """The named array inventory of a snapshot, for sharing accounting.
+
+    A delta publish shares every ``star.*`` buffer (through its base)
+    with the previous generation by object identity; the MST clone's
+    outer containers and the edge log are per-generation.
+    """
+    star = snapshot.star
+    base = star.base if isinstance(star, DeltaStar) else star
+    lca = base._lca
+    mst = snapshot._mst
+    return {
+        "star.parents": base.parents,
+        "star.weights": base.weights,
+        "star.tree_edge_of_node": base.tree_edge_of_node,
+        "star.leaf_order": base.leaf_order,
+        "star.leaf_position": base.leaf_position,
+        "star.interval_start": base._interval_start,
+        "star.interval_end": base._interval_end,
+        "star.jump": base._jump,
+        "lca.first": lca._first,
+        "lca.component": lca._component,
+        "lca.euler": lca._euler,
+        "lca.depth": lca._depth,
+        "lca.table": lca._table,
+        "lca.log": lca._log,
+        "mst.tree_adj": mst.tree_adj,
+        "mst.sorted_adj": mst._sorted_adj,
+        "mst.parent": mst._parent,
+        "mst.parent_weight": mst._parent_weight,
+        "mst.level": mst._level,
+        "mst.component": mst._component,
+        "edges": snapshot.edges,
+    }
+
+
+def shared_fraction(
+    previous: IndexSnapshot,  # escape: borrowed
+    current: IndexSnapshot,  # escape: borrowed
+) -> float:
+    """Fraction of ``current``'s named buffers shared with ``previous``."""
+    prev = named_buffers(previous)
+    cur = named_buffers(current)
+    shared = sum(1 for name, buf in cur.items() if buf is prev.get(name))
+    return shared / len(cur) if cur else 1.0

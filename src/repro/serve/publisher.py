@@ -9,15 +9,22 @@ readers never touch the mutable index at all — they hold
 
 Publication protocol:
 
-1. the writer applies updates under the lock, accumulating the
-   *affected vertex set* — every endpoint of an edge whose
-   steiner-connectivity changed (the maintainer reports exactly these,
-   per Observations I/II of the paper);
-2. ``publish()`` captures a frozen snapshot (still under the lock, so
-   it is transactionally consistent), bumps the generation, and swaps
-   the published reference — a single atomic store;
-3. the caller (the serving facade) feeds the affected set to the
-   result cache so unaffected entries carry over.
+1. the writer applies updates under the lock — preferably as one
+   :meth:`apply_updates` batch, which reports applied/no-op operations,
+   sc deltas, and the *affected vertex set* (every endpoint of an edge
+   whose steiner-connectivity changed, per Observations I/II);
+2. ``publish()`` captures a new snapshot (still under the lock, so it
+   is transactionally consistent), bumps the generation, and swaps the
+   published reference — a single atomic store.  With delta publishing
+   enabled (the default) the capture is *copy-on-write*: only the MST
+   region the batch actually touched is rebuilt, and every untouched
+   array is shared with the last full snapshot by object identity (see
+   :mod:`repro.serve.delta`); the publisher falls back to a full
+   capture whenever the delta preconditions fail or the region exceeds
+   ``region_fraction_limit`` of the vertices;
+3. the caller (the serving facade) feeds the
+   :class:`~repro.serve.reports.PublishReport` to the result cache so
+   unaffected entries carry over.
 
 Between publishes the published snapshot is *stale* by
 ``staleness()`` updates; freshness-sensitive reads degrade to a direct
@@ -27,23 +34,42 @@ online computation against the live graph (see
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Set, Tuple
+from bisect import bisect_left, insort
+from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.tsan import AnyRLock, monitored, new_rlock
 from repro.core.queries import SMCCIndex
+from repro.graph.graph import edge_key
 from repro.obs import runtime as _obs
 from repro.obs.spans import span
+from repro.serve.delta import capture_delta_snapshot, shared_fraction
+from repro.serve.reports import PublishReport, UpdateOp, UpdateReport
 from repro.serve.snapshot import IndexSnapshot, capture_snapshot
 
 __all__ = ["SnapshotPublisher"]
+
+Edge = Tuple[int, int]
 
 
 @monitored
 class SnapshotPublisher:
     """Serializes writers and publishes immutable snapshots atomically."""
 
-    def __init__(self, index: SMCCIndex) -> None:
+    def __init__(
+        self,
+        index: SMCCIndex,
+        *,
+        delta: bool = True,
+        region_fraction_limit: float = 0.25,
+    ) -> None:
         self._index = index  # guarded-by: immutable-after-publish
+        #: delta publishing on/off (off = every publish is a full capture)
+        self._delta_enabled = delta  # guarded-by: immutable-after-publish
+        #: a delta region larger than this fraction of |V| falls back to
+        #: a full capture (rebuilding most of the tree region-locally
+        #: costs more than a clean rebuild)
+        # guarded-by: immutable-after-publish
+        self._region_fraction_limit = region_fraction_limit
         #: reentrant: degraded direct reads nest under writer-side calls
         self._lock = new_rlock("SnapshotPublisher._lock")
         self._generation = 0  # guarded-by: _lock
@@ -53,12 +79,21 @@ class SnapshotPublisher:
         #: vertices touched by sc changes since the last publish; None
         #: once region tracking has been abandoned for this window
         self._affected: Optional[Set[int]] = set()  # guarded-by: _lock
+        #: the live graph's sorted edge list, maintained incrementally so
+        #: a delta capture never pays the O(|E| log |E|) re-sort
+        # guarded-by: _lock
+        self._edges_list: List[Edge] = sorted(index.conn_graph.graph.edges())
+        # Delta captures patch against the last *full* snapshot, with the
+        # tree's dirty set accumulating since that base (cleared only on
+        # full publishes).  Arm tracking before any mutation can happen.
+        index.mst.begin_dirty_tracking()
         #: swapped under the lock; read lock-free by snapshot() — the
         #: atomic reference publication at the heart of the design
         # guarded-by: _lock [writes]
         self._snapshot = capture_snapshot(
             index.conn_graph, index.mst, generation=0
         )
+        self._base_snapshot = self._snapshot  # guarded-by: _lock
         #: advisory flag; lock-free readers only ever observe it
         self._publishing = False  # guarded-by: _lock [writes]
 
@@ -92,21 +127,90 @@ class SnapshotPublisher:
         """The live mutable index; only touch it while holding ``lock``."""
         return self._index
 
+    @property
+    def delta_enabled(self) -> bool:
+        return self._delta_enabled
+
     # ------------------------------------------------------------------
     # Writer side
     # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        *,
+        inserts: Optional[Iterable[Edge]] = None,
+        deletes: Optional[Iterable[Edge]] = None,
+    ) -> UpdateReport:
+        """Apply one batch of edge updates to the live index.
+
+        Deletes run before inserts (so swapping an edge's endpoints in
+        one batch behaves as expected), each under the write lock as one
+        transaction.  Operations that cannot change the graph — deleting
+        a missing edge, re-inserting an existing one, self-loops — are
+        reported as no-ops instead of raising, which makes replayed /
+        at-least-once update feeds idempotent.  Nothing is published;
+        call :meth:`publish` (or rely on the facade's auto-publish).
+        """
+        applied: List[UpdateOp] = []
+        noops: List[UpdateOp] = []
+        sc_changes: List[Tuple[int, int, int]] = []
+        batch_affected: Set[int] = set()
+        with self._lock:
+            graph = self._index.graph
+            for u, v in deletes or ():
+                if not graph.has_edge(u, v):
+                    noops.append(("delete", u, v))
+                    continue
+                changes = self._index.delete_edge(u, v)
+                self._note_changes(u, v, changes)
+                self._drop_edge_key(u, v)
+                applied.append(("delete", u, v))
+                sc_changes.extend(changes)
+                batch_affected.add(u)
+                batch_affected.add(v)
+                batch_affected.update(a for a, _, _ in changes)
+                batch_affected.update(b for _, b, _ in changes)
+            for u, v in inserts or ():
+                if u == v or graph.has_edge(u, v):
+                    noops.append(("insert", u, v))
+                    continue
+                changes = self._index.insert_edge(u, v)
+                self._note_changes(u, v, changes)
+                insort(self._edges_list, edge_key(u, v))
+                applied.append(("insert", u, v))
+                sc_changes.extend(changes)
+                batch_affected.add(u)
+                batch_affected.add(v)
+                batch_affected.update(a for a, _, _ in changes)
+                batch_affected.update(b for _, b, _ in changes)
+        return UpdateReport(
+            applied=tuple(applied),
+            noops=tuple(noops),
+            sc_changes=tuple(sc_changes),
+            affected=frozenset(batch_affected),
+        )
+
     def insert_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
-        """Insert an edge into the live index (not yet published)."""
+        """Insert one edge (low-level; raises on duplicates/self-loops).
+
+        Prefer :meth:`apply_updates`, which batches, tolerates no-ops,
+        and returns a structured report.
+        """
         with self._lock:
             changes = self._index.insert_edge(u, v)
             self._note_changes(u, v, changes)
+            insort(self._edges_list, edge_key(u, v))
             return changes
 
     def delete_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
-        """Delete an edge from the live index (not yet published)."""
+        """Delete one edge (low-level; raises when the edge is missing).
+
+        Prefer :meth:`apply_updates`, which batches, tolerates no-ops,
+        and returns a structured report.
+        """
         with self._lock:
             changes = self._index.delete_edge(u, v)
             self._note_changes(u, v, changes)
+            self._drop_edge_key(u, v)
             return changes
 
     # guarded-by: _lock
@@ -121,33 +225,74 @@ class SnapshotPublisher:
                 self._affected.add(a)
                 self._affected.add(b)
 
+    # guarded-by: _lock
+    def _drop_edge_key(self, u: int, v: int) -> None:
+        key = edge_key(u, v)
+        i = bisect_left(self._edges_list, key)
+        if i < len(self._edges_list) and self._edges_list[i] == key:
+            del self._edges_list[i]
+
     def abandon_region_tracking(self) -> None:
         """Force the next publish to invalidate wholesale."""
         with self._lock:
             self._affected = None
 
-    def publish(self) -> Tuple[IndexSnapshot, Optional[FrozenSet[int]]]:
+    def publish(self) -> PublishReport:
         """Capture + atomically publish a new snapshot generation.
 
-        Returns ``(snapshot, affected)`` where ``affected`` is the
-        frozen set of vertices whose cached answers may be invalid
-        (``None`` means "unknown — invalidate everything").  Publishing
-        with no pending updates returns the current snapshot unchanged.
+        The report carries the new generation, the publish ``mode``
+        (``"delta"``, ``"full"``, or ``"noop"`` when nothing was
+        pending), the rebuilt-region size, the fraction of named buffers
+        shared with the previous generation, and the affected vertex
+        set for cache invalidation (``None`` = invalidate everything).
+        For one release the report also forwards snapshot attribute
+        reads behind a ``DeprecationWarning``.
         """
         with self._lock:
             if self._pending_updates == 0:
-                return self._snapshot, frozenset()
+                return PublishReport(
+                    generation=self._snapshot.generation,
+                    mode="noop",
+                    region_size=0,
+                    shared_fraction=1.0,
+                    snapshot=self._snapshot,
+                    affected=frozenset(),
+                )
             self._publishing = True
             try:
                 with span("serve.publish") as sp:
                     new_generation = self._generation + 1
-                    snapshot = capture_snapshot(
-                        self._index.conn_graph,
-                        self._index.mst,
-                        generation=new_generation,
-                    )
+                    mode = "full"
+                    region_size = 0
+                    snapshot: Optional[IndexSnapshot] = None
+                    if self._delta_enabled:
+                        delta = capture_delta_snapshot(
+                            self._base_snapshot,
+                            self._index.mst,
+                            new_generation,
+                            self._index.graph.num_vertices,
+                            tuple(self._edges_list),
+                            self._region_fraction_limit,
+                        )
+                        if delta is not None:
+                            snapshot, region_size = delta
+                            mode = "delta"
+                    if snapshot is None:
+                        snapshot = capture_snapshot(
+                            self._index.conn_graph,
+                            self._index.mst,
+                            generation=new_generation,
+                        )
+                        region_size = snapshot.num_vertices
+                        # This snapshot is the new delta base; the dirty
+                        # set accumulates against it from here on.
+                        self._base_snapshot = snapshot
+                        self._index.mst.clear_dirty()
                     sp.set("generation", new_generation)
                     sp.set("pending_updates", self._pending_updates)
+                    sp.set("mode", mode)
+                    sp.set("region_size", region_size)
+                previous = self._snapshot
                 affected = (
                     frozenset(self._affected)
                     if self._affected is not None
@@ -160,8 +305,19 @@ class SnapshotPublisher:
                 self._snapshot = snapshot
             finally:
                 self._publishing = False
+        fraction = shared_fraction(previous, snapshot)
         registry = _obs.REGISTRY
         if registry is not None:
             registry.counter("serve.publish.count").inc()
+            registry.counter(f"serve.publish.mode.{mode}").inc()
+            registry.gauge("serve.publish.region_size").set(region_size)
+            registry.gauge("serve.publish.shared_fraction").set(fraction)
             registry.gauge("serve.snapshot.generation").set(snapshot.generation)
-        return snapshot, affected
+        return PublishReport(
+            generation=snapshot.generation,
+            mode=mode,
+            region_size=region_size,
+            shared_fraction=fraction,
+            snapshot=snapshot,
+            affected=affected,
+        )

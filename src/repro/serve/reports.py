@@ -1,0 +1,100 @@
+"""Structured writer-path reports (`apply_updates` / `publish` results).
+
+The serving writer surface used to hand back raw data: ``insert_edge``
+and ``delete_edge`` returned bare ``List[Tuple[int, int, int]]`` sc
+changes and ``publish()`` returned the snapshot itself.  This module
+replaces those with two small immutable report types:
+
+- :class:`UpdateReport` — what a batch of updates did: which
+  operations applied, which were no-ops (inserting an existing edge,
+  deleting a missing one), the aggregated sc deltas, and the affected
+  vertex region.
+- :class:`PublishReport` — what a publish did: the new generation, the
+  publish **mode** (``"full"`` rebuild, ``"delta"`` region patch, or
+  ``"noop"`` when nothing was pending), the affected-region size, the
+  fraction of named snapshot buffers shared with the previous
+  generation, and the published snapshot itself.
+
+One-release compatibility: callers that treated the return value of
+``publish()`` as an :class:`~repro.serve.snapshot.IndexSnapshot` keep
+working — unknown attribute reads on :class:`PublishReport` forward to
+``.snapshot`` behind a :class:`DeprecationWarning`, mirroring the
+keyword-only migration of the ``SMCCIndex`` facade.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.serve.snapshot import IndexSnapshot
+
+__all__ = ["UpdateOp", "UpdateReport", "PublishReport"]
+
+#: one writer operation: ("insert" | "delete", u, v)
+UpdateOp = Tuple[str, int, int]
+
+#: one steiner-connectivity delta: (a, b, new_sc)
+ScChange = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of one ``apply_updates`` batch against the live index."""
+
+    #: operations that mutated the live graph, in application order
+    applied: Tuple[UpdateOp, ...] = ()
+    #: operations skipped (duplicate insert / missing delete)
+    noops: Tuple[UpdateOp, ...] = ()
+    #: aggregated ``(a, b, new_sc)`` changes reported by maintenance
+    sc_changes: Tuple[ScChange, ...] = ()
+    #: vertices whose sc answers may have changed (the cache region)
+    affected: FrozenSet[int] = field(default_factory=frozenset)
+
+    @property
+    def num_applied(self) -> int:
+        return len(self.applied)
+
+    @property
+    def num_noops(self) -> int:
+        return len(self.noops)
+
+
+@dataclass(frozen=True)
+class PublishReport:
+    """Outcome of one ``publish()``: generation, mode, sharing stats."""
+
+    #: generation of the published snapshot
+    generation: int
+    #: "full" (rebuilt from scratch), "delta" (region patch over the
+    #: previous full base), or "noop" (nothing pending; snapshot reused)
+    mode: str
+    #: size of the affected MST region (0 for noop; |V| for full)
+    region_size: int
+    #: fraction of named snapshot buffers shared with the previous
+    #: generation (0.0 for a full rebuild)
+    shared_fraction: float
+    #: the snapshot that is now the published reference
+    snapshot: IndexSnapshot
+    #: the region handed to cache invalidation (None = wholesale)
+    affected: Optional[FrozenSet[int]] = None
+
+    def __getattr__(self, name: str) -> Any:
+        # One-release shim: publish() used to return the IndexSnapshot
+        # itself, so forward unknown reads (edges, sc_pair, ...) to it.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        snapshot = object.__getattribute__(self, "snapshot")
+        if hasattr(snapshot, name):
+            warnings.warn(
+                f"accessing {name!r} on the result of publish() is "
+                "deprecated and will become an error in a future "
+                f"release; use publish().snapshot.{name} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return getattr(snapshot, name)
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r}"
+        )

@@ -25,12 +25,13 @@ All serve-side metrics land in the :mod:`repro.obs` registry under the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.tsan import monitored, new_lock
 from repro.baselines import sc_baseline, smcc_baseline, smcc_l_baseline
-from repro.core.queries import SMCCIndex, SMCCResult
+from repro.core.queries import SMCCIndex, SMCCResult, _positional_shim
 from repro.errors import DeadlineExceededError, DisconnectedQueryError
 from repro.graph.graph import Graph
 from repro.obs import runtime as _obs
@@ -38,6 +39,7 @@ from repro.obs.timing import monotonic
 from repro.serve.cache import QueryCache, canonical_query
 from repro.serve.planner import execute_batch, plan_batch
 from repro.serve.publisher import SnapshotPublisher
+from repro.serve.reports import PublishReport, UpdateReport
 from repro.serve.snapshot import IndexSnapshot
 
 __all__ = ["ServeConfig", "ServingIndex"]
@@ -64,6 +66,10 @@ class ServeConfig:
     auto_publish_every: Optional[int] = None
     #: KECC engine for the degraded direct path
     direct_engine: str = "exact"
+    #: publish deltas that share untouched arrays with the previous
+    #: generation when the touched MST region stays small; False makes
+    #: every publish a full capture
+    delta_publish: bool = True
 
     def __post_init__(self) -> None:
         if self.invalidation not in ("region", "wholesale"):
@@ -98,13 +104,26 @@ class ServingIndex:
     """Concurrent, cached, deadline-aware SMCC query serving."""
 
     def __init__(
-        self, index: SMCCIndex, config: Optional[ServeConfig] = None
+        self,
+        index: SMCCIndex,
+        *args: object,
+        config: Optional[ServeConfig] = None,
     ) -> None:
+        if args:
+            # One-release shim: config used to be accepted positionally.
+            mapped = _positional_shim("ServingIndex", ("config",), args)
+            config = mapped.get("config", config)  # type: ignore[assignment]
         self.config = config or ServeConfig()  # guarded-by: immutable-after-publish
-        self.publisher = SnapshotPublisher(index)  # guarded-by: immutable-after-publish
+        # guarded-by: immutable-after-publish
+        self.publisher = SnapshotPublisher(
+            index,
+            delta=self.config.delta_publish,
+            region_fraction_limit=self.config.region_fraction_limit,
+        )
         # guarded-by: immutable-after-publish
         self.cache = QueryCache(
-            self.config.cache_capacity, generation=self.publisher.generation
+            capacity=self.config.cache_capacity,
+            generation=self.publisher.generation,
         )
         #: bumped on the degraded path under the publisher lock; read
         #: lock-free by stats() — an advisory health counter
@@ -144,12 +163,46 @@ class ServingIndex:
     # ------------------------------------------------------------------
     # Writer API
     # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        *,
+        inserts: Optional[Iterable[Tuple[int, int]]] = None,
+        deletes: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> UpdateReport:
+        """Apply one batch of edge updates to the live index.
+
+        Deletes run before inserts; impossible operations (missing
+        delete, duplicate insert, self-loop) are reported as no-ops.
+        The batch is applied transactionally under the writer lock but
+        not published — call :meth:`publish`, or configure
+        ``auto_publish_every``.
+        """
+        report = self.publisher.apply_updates(inserts=inserts, deletes=deletes)
+        self._maybe_auto_publish()
+        return report
+
     def insert_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Deprecated: use ``apply_updates(inserts=[(u, v)])``."""
+        warnings.warn(
+            "ServingIndex.insert_edge() is deprecated and will be removed "
+            "in a future release; use apply_updates(inserts=[(u, v)]), "
+            "which batches and returns an UpdateReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         changes = self.publisher.insert_edge(u, v)
         self._maybe_auto_publish()
         return changes
 
     def delete_edge(self, u: int, v: int) -> List[Tuple[int, int, int]]:
+        """Deprecated: use ``apply_updates(deletes=[(u, v)])``."""
+        warnings.warn(
+            "ServingIndex.delete_edge() is deprecated and will be removed "
+            "in a future release; use apply_updates(deletes=[(u, v)]), "
+            "which batches and returns an UpdateReport",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         changes = self.publisher.delete_edge(u, v)
         self._maybe_auto_publish()
         return changes
@@ -159,20 +212,24 @@ class ServingIndex:
         if every is not None and self.publisher.staleness() >= every:
             self.publish()
 
-    def publish(self) -> IndexSnapshot:
+    def publish(self) -> PublishReport:
         """Publish pending updates as a new snapshot generation.
 
         Invalidate the result cache per affected tree region when the
         region stayed small (and region invalidation is configured),
-        wholesale otherwise.
+        wholesale otherwise.  Returns the publisher's
+        :class:`~repro.serve.reports.PublishReport`; for one release
+        the report also forwards snapshot attribute reads behind a
+        ``DeprecationWarning``.
         """
-        snapshot, affected = self.publisher.publish()
-        affected = self._effective_region(snapshot, affected)
-        if affected is not None and not affected:
-            return snapshot  # no-op publish: nothing changed
+        report = self.publisher.publish()
+        if report.mode == "noop":
+            return report  # nothing changed; cache generation holds
+        snapshot = report.snapshot
+        affected = self._effective_region(snapshot, report.affected)
         self.cache.advance(snapshot.generation, affected)
         self._mirror_cache_metrics()
-        return snapshot
+        return report
 
     def _effective_region(
         self, snapshot: IndexSnapshot, affected: Optional[FrozenSet[int]]

@@ -147,22 +147,27 @@ def _run_writer(
     churn = rng.sample(edges, min(len(edges), max(1, spec.updates // 2)))
     applied = 0
     published = 0
+    delta_published = 0
     start.wait()
     while applied < spec.updates:
         u, v = churn[(applied // 2) % len(churn)]
         if applied % 2 == 0:
-            serving.delete_edge(u, v)
+            serving.apply_updates(deletes=[(u, v)])
         else:
-            serving.insert_edge(u, v)
+            serving.apply_updates(inserts=[(u, v)])
         applied += 1
         if spec.publish_every and applied % spec.publish_every == 0:
-            serving.publish()
+            report = serving.publish()
             published += 1
-    serving.publish()
-    published += 1
+            delta_published += report.mode == "delta"
+    report = serving.publish()
+    if report.mode != "noop":
+        published += 1
+        delta_published += report.mode == "delta"
     with lock:
         counts["updates_applied"] += applied
         counts["publishes"] += published
+        counts["delta_publishes"] += delta_published
 
 
 def run_serve_workload(
@@ -181,6 +186,7 @@ def run_serve_workload(
         "query_errors": 0,
         "updates_applied": 0,
         "publishes": 0,
+        "delta_publishes": 0,
     }
     lock = new_lock("serve.workload.counts")
     parties = spec.readers + (1 if spec.updates > 0 else 0)
@@ -227,6 +233,7 @@ def run_serve_workload(
         "query_errors": counts["query_errors"],
         "updates_applied": counts["updates_applied"],
         "publishes": counts["publishes"],
+        "delta_publishes": counts["delta_publishes"],
         "throughput_qps": (total / elapsed) if elapsed > 0 else None,
         "final_generation": serving.generation,
         "serving_stats": serving.stats(),

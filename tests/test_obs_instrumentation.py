@@ -266,7 +266,9 @@ class TestServeCLI:
         assert doc["spec"]["readers"] == 2
         assert doc["queries_answered"] + doc["query_errors"] * 4 >= 80
         assert doc["updates_applied"] == 4
-        assert doc["publishes"] == 3  # at updates 2 and 4, plus the final one
+        # At updates 2 and 4; the final flush is a no-op publish (update 4
+        # was just published) and no-op publishes are not counted.
+        assert doc["publishes"] == 2
         assert doc["serving_stats"]["staleness"] == 0
 
     def test_serve_obs_flag_embeds_serve_metrics(self, index_dir, capsys):

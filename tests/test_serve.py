@@ -15,10 +15,12 @@ from repro.errors import (
 from repro.graph.generators import clique_chain_graph, paper_example_graph
 from repro.obs import runtime as obs_runtime
 from repro.serve import (
+    PublishReport,
     QueryCache,
     ServeConfig,
     ServeWorkloadSpec,
     ServingIndex,
+    UpdateReport,
     canonical_query,
     capture_snapshot,
     execute_batch,
@@ -427,6 +429,88 @@ class TestServingIndex:
 
 
 # ----------------------------------------------------------------------
+# Writer API: apply_updates / publish reports and the deprecation shims
+# ----------------------------------------------------------------------
+class TestWriterApi:
+    def test_apply_updates_reports_applied_and_noops(self, paper_graph):
+        serving = ServingIndex.build(paper_graph)
+        report = serving.apply_updates(
+            inserts=[(0, 12), (0, 1), (3, 3)],  # (0,1) present, (3,3) loop
+            deletes=[(5, 6), (0, 12)],  # (0,12) absent at delete time
+        )
+        assert isinstance(report, UpdateReport)
+        # Deletes run first: (0,12) is still absent, so it no-ops and
+        # the later insert applies.
+        assert report.num_applied == 2
+        assert set(report.applied) == {("insert", 0, 12), ("delete", 5, 6)}
+        assert report.num_noops == 3
+        assert {0, 5, 6, 12} <= set(report.affected)
+
+    def test_publish_report_modes_and_generation(self, paper_graph):
+        serving = ServingIndex.build(paper_graph)
+        noop = serving.publish()
+        assert isinstance(noop, PublishReport)
+        assert noop.mode == "noop"
+        assert noop.shared_fraction == 1.0
+        serving.apply_updates(inserts=[(0, 12)])
+        report = serving.publish()
+        assert report.mode in ("delta", "full")
+        assert report.generation == 1
+        assert report.snapshot.generation == 1
+        assert 0.0 <= report.shared_fraction <= 1.0
+
+    def test_insert_delete_edge_deprecated_but_working(self, paper_graph):
+        serving = ServingIndex.build(paper_graph)
+        with pytest.warns(DeprecationWarning, match="insert_edge"):
+            serving.insert_edge(0, 12)
+        with pytest.warns(DeprecationWarning, match="delete_edge"):
+            serving.delete_edge(0, 12)
+        assert serving.staleness() == 2  # both updates landed
+
+    def test_publish_report_forwards_snapshot_attrs_with_warning(
+        self, paper_graph
+    ):
+        serving = ServingIndex.build(paper_graph)
+        serving.apply_updates(inserts=[(0, 12)])
+        report = serving.publish()
+        with pytest.warns(DeprecationWarning, match="publish"):
+            edges = report.edges  # old callers treated this as a snapshot
+        assert edges == report.snapshot.edges
+        with pytest.warns(DeprecationWarning, match="publish"):
+            assert report.steiner_connectivity([0, 3, 4]) == \
+                report.snapshot.steiner_connectivity([0, 3, 4])
+
+    def test_serving_index_positional_config_deprecated(self, paper_graph):
+        index = SMCCIndex.build(paper_graph)
+        config = ServeConfig(cache_capacity=16)
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            serving = ServingIndex(index, config)
+        assert serving.config.cache_capacity == 16
+        with pytest.raises(TypeError):
+            ServingIndex(index, config, "extra")
+
+    def test_query_cache_positional_args_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            cache = QueryCache(8)
+        assert cache.capacity == 8
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            cache = QueryCache(8, 3)
+        assert cache.generation == 3
+        with pytest.raises(TypeError):
+            QueryCache(8, 3, "extra")
+
+    def test_no_delta_config_forces_full_captures(self, paper_graph):
+        serving = ServingIndex.build(
+            paper_graph, config=ServeConfig(delta_publish=False)
+        )
+        serving.apply_updates(inserts=[(0, 12)])
+        report = serving.publish()
+        assert report.mode == "full"
+        assert report.shared_fraction == 0.0
+        assert report.region_size == report.snapshot.num_vertices
+
+
+# ----------------------------------------------------------------------
 # Observability wiring
 # ----------------------------------------------------------------------
 class TestServeMetrics:
@@ -494,7 +578,9 @@ class TestServeWorkload:
         total_queries = spec.readers * spec.queries_per_reader
         assert result["queries_answered"] + result["query_errors"] * spec.batch_size >= total_queries
         assert result["updates_applied"] == 6
-        assert result["publishes"] == 4  # at updates 2, 4, 6 + the final one
+        # At updates 2, 4, 6; the final flush publish is a no-op (update
+        # 6 was just published) and no-ops are not counted.
+        assert result["publishes"] == 3
         assert result["final_generation"] == serving.generation
         assert result["throughput_qps"] is None or result["throughput_qps"] > 0
 

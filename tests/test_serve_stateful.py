@@ -29,6 +29,7 @@ from conftest import random_connected_graph
 
 from repro.core.queries import SMCCIndex
 from repro.errors import DisconnectedQueryError
+from repro.graph.generators import clique_chain_graph
 from repro.graph.graph import Graph
 from repro.serve import ServeConfig, ServingIndex
 
@@ -158,30 +159,35 @@ def _run_writer(
     gen_edges: Dict[int, Tuple[Edge, ...]],
     gen_lock: threading.Lock,
     failures: List[str],
+    modes: Optional[Dict[str, int]] = None,
 ) -> None:
     rng = random.Random(seed)
     present = sorted(serving.snapshot().edges)
     removed: List[Edge] = []
+
+    def _publish() -> None:
+        report = serving.publish()
+        with gen_lock:
+            gen_edges[report.generation] = report.snapshot.edges
+            if modes is not None:
+                modes[report.mode] = modes.get(report.mode, 0) + 1
+
     start.wait()
     try:
         for _ in range(updates):
             do_insert = bool(removed) and (rng.random() < 0.5 or not present)
             if do_insert:
                 u, v = removed.pop(rng.randrange(len(removed)))
-                serving.insert_edge(u, v)
+                serving.apply_updates(inserts=[(u, v)])
                 present.append((u, v))
             else:
                 index = rng.randrange(len(present))
                 u, v = present.pop(index)
-                serving.delete_edge(u, v)
+                serving.apply_updates(deletes=[(u, v)])
                 removed.append((u, v))
             if rng.random() < 0.4:
-                snap = serving.publish()
-                with gen_lock:
-                    gen_edges[snap.generation] = snap.edges
-        snap = serving.publish()
-        with gen_lock:
-            gen_edges[snap.generation] = snap.edges
+                _publish()
+        _publish()
     except Exception as exc:  # noqa: BLE001 - report, don't hang the join
         failures.append(f"writer(seed={seed}) raised {exc!r}")
 
@@ -195,16 +201,21 @@ def _run_round(
     min_n: int = 10,
     max_n: int = 14,
     config: Optional[ServeConfig] = None,
+    modes: Optional[Dict[str, int]] = None,
 ) -> int:
     """One interleaving; returns the number of verified answers."""
     graph = random_connected_graph(seed * 31 + 7, min_n=min_n, max_n=max_n)
     if config is None:
-        # Rotate invalidation strategies so both are raced; lift the
-        # region fraction limit to stress carry-over as hard as possible.
+        # Rotate invalidation strategies so both are raced, and rotate
+        # delta publishing so the block mixes copy-on-write and full
+        # captures; lift the region fraction limit to stress both the
+        # patch-overlay snapshots and cache carry-over as hard as
+        # possible.
         config = ServeConfig(
             cache_capacity=64,
             invalidation="region" if seed % 3 else "wholesale",
             region_fraction_limit=1.0,
+            delta_publish=bool(seed % 2),
         )
     serving = ServingIndex.build(graph, config=config)
     gen_edges: Dict[int, Tuple[Edge, ...]] = {0: serving.snapshot().edges}
@@ -225,7 +236,7 @@ def _run_round(
         threading.Thread(
             target=_run_writer,
             args=(serving, seed * 977 + 5, updates, start, gen_edges,
-                  gen_lock, failures),
+                  gen_lock, failures, modes),
             name="stateful-writer",
         )
     )
@@ -258,9 +269,17 @@ BLOCKS = 7
 @pytest.mark.parametrize("block", range(BLOCKS))
 def test_serve_stateful_interleavings(block):
     verified = 0
+    modes: Dict[str, int] = {}
     for offset in range(INTERLEAVINGS_PER_BLOCK):
-        verified += _run_round(block * INTERLEAVINGS_PER_BLOCK + offset)
+        verified += _run_round(
+            block * INTERLEAVINGS_PER_BLOCK + offset, modes=modes
+        )
     assert verified > 0  # every round produced and verified answers
+    # The block raced both publish modes: rounds with delta publishing
+    # disabled always capture full snapshots, and the delta-enabled
+    # rounds produced at least one copy-on-write publish.
+    assert modes.get("full", 0) > 0, modes
+    assert modes.get("delta", 0) > 0, modes
 
 
 def test_final_generation_matches_live_graph():
@@ -314,6 +333,140 @@ def test_round_under_lock_sanitizer():
         if not was_enabled:
             tsan.disable()
             tsan.reset()
+
+
+def _check_snapshot_against_rebuild(snap, queries) -> None:
+    """Every answer of one published snapshot vs a from-scratch rebuild."""
+    graph = _graph_from_edges(snap.num_vertices, snap.edges)
+    rebuilt = SMCCIndex.build(graph)
+    for q in queries:
+        try:
+            expected: object = rebuilt.steiner_connectivity(list(q))
+        except DisconnectedQueryError:
+            expected = DISC
+        try:
+            got: object = snap.steiner_connectivity(list(q))
+        except DisconnectedQueryError:
+            got = DISC
+        assert got == expected, (
+            f"gen {snap.generation}: sc({q!r}) = {got!r}, rebuild says "
+            f"{expected!r}"
+        )
+
+
+def test_alternating_delta_and_full_publishes_match_rebuild():
+    """Deterministic delta/full alternation on one serving index.
+
+    Fresh chords between cliques keep the spanning tree connected, so
+    with the fraction limit lifted the region graft succeeds and the
+    publisher emits copy-on-write deltas; dropping a bridge disconnects
+    the graph, so no subtree graft is sound at any node and the
+    publisher falls back to a full capture.  Every published generation
+    — whichever mode produced it — must agree with an index rebuilt
+    from scratch on that generation's edge log.
+    """
+    queries = ([0, 1], [1, 2, 3], [5, 6], [9, 10, 11], [0, 9], [2, 13])
+    serving = ServingIndex.build(
+        clique_chain_graph([5, 4, 6]),
+        config=ServeConfig(region_fraction_limit=1.0),
+    )
+    modes: List[str] = []
+    for u, v in ((1, 6), (2, 7), (3, 10), (6, 11)):
+        # Small-region churn: insert then delete a fresh chord.
+        for batch in ({"inserts": [(u, v)]}, {"deletes": [(u, v)]}):
+            report_u = serving.apply_updates(**batch)
+            assert report_u.num_applied == 1 and report_u.num_noops == 0
+            report = serving.publish()
+            modes.append(report.mode)
+            _check_snapshot_against_rebuild(report.snapshot, queries)
+        # Structural churn: drop the K5-K4 bridge (disconnects), then
+        # restore it.  Both publishes must fall back soundly.
+        serving.apply_updates(deletes=[(0, 5)])
+        report = serving.publish()
+        modes.append(report.mode)
+        _check_snapshot_against_rebuild(report.snapshot, queries)
+        serving.apply_updates(inserts=[(0, 5)])
+        report = serving.publish()
+        modes.append(report.mode)
+        _check_snapshot_against_rebuild(report.snapshot, queries)
+        # The caching facade agrees with the current snapshot.
+        for q in queries:
+            try:
+                expected = serving.snapshot().steiner_connectivity(list(q))
+            except DisconnectedQueryError:
+                expected = None
+            if expected is not None:
+                assert serving.sc(list(q)) == expected
+    assert "delta" in modes, modes
+    assert "full" in modes, modes
+
+
+def test_delta_publish_shares_untouched_buffers():
+    """Untouched arrays are the *same objects* across generations."""
+    from repro.serve import named_buffers, shared_fraction
+
+    serving = ServingIndex.build(
+        clique_chain_graph([5, 4, 6]),
+        config=ServeConfig(region_fraction_limit=1.0),
+    )
+    prev = serving.snapshot()
+    serving.apply_updates(inserts=[(1, 6)])
+    report = serving.publish()
+    assert report.mode == "delta"
+    assert report.shared_fraction >= 0.5
+    assert shared_fraction(prev, report.snapshot) == report.shared_fraction
+    before = named_buffers(prev)
+    after = named_buffers(report.snapshot)
+    for name in before:
+        if name.startswith(("star.", "lca.")):
+            # The delta overlays a patch star; every base buffer it
+            # routes to is the generation-0 object itself, not a copy.
+            assert after[name] is before[name], name
+    # The MST working copy is always fresh per snapshot (its traversal
+    # scratch must never be shared), as is the edge log.
+    assert after["mst.tree_adj"] is not before["mst.tree_adj"]
+    assert after["edges"] is not before["edges"]
+
+
+def test_delta_publish_under_freezer_stays_read_only():
+    """REPRO_FREEZE: shared buffers survive re-freezing and stay frozen.
+
+    Arms the freezer programmatically (as the CI serve job does via the
+    environment), publishes a delta, and checks that (a) sharing by
+    object identity survived the re-freeze — the freezer returns
+    already-frozen containers unchanged instead of re-wrapping them —
+    and (b) writes into shared buffers still raise at the call site.
+    """
+    from repro.analysis import freeze
+    from repro.serve import named_buffers
+
+    was_enabled = freeze.enabled()
+    if not was_enabled:
+        freeze.enable()
+    try:
+        serving = ServingIndex.build(
+            clique_chain_graph([5, 4, 6]),
+            config=ServeConfig(region_fraction_limit=1.0),
+        )
+        prev = serving.snapshot()
+        serving.apply_updates(inserts=[(1, 6)])
+        report = serving.publish()
+        assert report.mode == "delta"
+        assert report.shared_fraction >= 0.5
+        before = named_buffers(prev)
+        after = named_buffers(report.snapshot)
+        assert after["lca.euler"] is before["lca.euler"]
+        assert after["star.parents"] is before["star.parents"]
+        with pytest.raises(freeze.FrozenWriteError):
+            after["star.parents"][0] = -1
+        with pytest.raises(freeze.FrozenWriteError):
+            after["mst.tree_adj"][0][1] = 99
+        _check_snapshot_against_rebuild(
+            report.snapshot, ([0, 1], [1, 6], [9, 10, 11], [2, 13])
+        )
+    finally:
+        if not was_enabled:
+            freeze.disable()
 
 
 @pytest.mark.serve_stress
