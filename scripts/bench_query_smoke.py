@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Bench smoke: the batched query kernels must be fast and exact.
+
+Runs the query-kernel benchmark (scalar per-query loops vs the
+flat-array batched kernels on the same probe sets), writes the
+``BENCH_query.json`` baseline artifact, and asserts
+
+- every batched answer matched its scalar counterpart on the full
+  probe corpus (``identical_answers``, always), and
+- the gated families (``sc_pairs``, ``sc``) kept a p50 speedup of at
+  least ``--min-speedup`` (default 5x) at the bench batch size.
+
+The advisory families (``smcc_extract``, ``smcc_l``) are reported but
+not gated — their scalar engines are output-linear, so wall-clock on
+shared CI boxes is informational.
+
+Exit status 0 = pass, 1 = a required assertion failed.  Used by the CI
+``query`` job, which uploads BENCH_query.json as an artifact; run
+locally as ``python scripts/bench_query_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.query_bench import BENCH_JSON, run_query_bench, write_bench_json
+
+#: required p50 speedup for gated families (the PR-8 acceptance bar)
+MIN_GATED_SPEEDUP = 5.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=BENCH_JSON,
+                        help="where to write the JSON baseline")
+    parser.add_argument("-n", type=int, default=None,
+                        help="bench graph size (vertices); default bench size")
+    parser.add_argument("--batch", type=int, default=None,
+                        help="probes per batched family (>= 1024 for the gate)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed repetitions per engine")
+    parser.add_argument("--min-speedup", type=float, default=MIN_GATED_SPEEDUP,
+                        help="required p50 speedup for gated families")
+    args = parser.parse_args(argv)
+
+    kwargs = {}
+    if args.n is not None:
+        kwargs["n"] = args.n
+    if args.batch is not None:
+        kwargs["batch"] = args.batch
+    if args.reps is not None:
+        kwargs["reps"] = args.reps
+    result = run_query_bench(**kwargs)
+    write_bench_json(args.output, result)
+
+    workload = result["workload"]
+    print(f"workload: ssca n={workload['n']} m={workload['m']} "
+          f"batch={workload['batch']} reps={workload['reps']}")
+    for name, family in sorted(result["families"].items()):
+        tag = "gated" if family["gated"] else "advisory"
+        print(f"{name:13s} scalar p50 {family['scalar_p50_seconds'] * 1e3:8.3f} ms  "
+              f"batched p50 {family['batched_p50_seconds'] * 1e3:8.3f} ms  "
+              f"speedup {family['speedup']:6.1f}x  ({tag})")
+    print(f"baseline written to {args.output}")
+
+    ok = True
+    if not result["identical_answers"]:
+        print("FAIL: a batched kernel diverged from its scalar counterpart",
+              file=sys.stderr)
+        ok = False
+    for name, family in sorted(result["families"].items()):
+        if family["gated"] and family["speedup"] < args.min_speedup:
+            print(f"FAIL: {name} p50 speedup {family['speedup']:.1f}x is below "
+                  f"the required {args.min_speedup:.1f}x",
+                  file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,7 +49,19 @@ PERF_METRICS = {
         (("publish", "delta_p50_seconds"), False),
         (("publish", "full_p50_seconds"), False),
     ],
+    "query": [
+        (("families", "sc_pairs", "speedup"), True),
+        (("families", "sc", "speedup"), True),
+        (("families", "sc_pairs", "batched_p50_seconds"), False),
+        (("families", "sc", "batched_p50_seconds"), False),
+        (("families", "smcc_extract", "batched_p50_seconds"), False),
+        (("families", "smcc_l", "batched_p50_seconds"), False),
+    ],
 }
+
+#: required p50 speedup for the gated query families (matches
+#: scripts/bench_query_smoke.py)
+QUERY_MIN_GATED_SPEEDUP = 5.0
 
 
 def _get(doc, pointer: Tuple[str, ...]):
@@ -106,6 +118,27 @@ def _invariant_failures(kind: str, baseline, candidate) -> List[str]:
                 f"({delta_p50!r}s) is not below the full-capture p50 "
                 f"({full_p50!r}s) on the small-region workload"
             )
+    elif kind == "query":
+        if candidate.get("identical_answers") is not True:
+            failures.append(
+                "correctness: a batched kernel diverged from its scalar "
+                "counterpart (identical_answers != true)"
+            )
+        if _get(baseline, ("workload",)) != _get(candidate, ("workload",)):
+            failures.append(
+                f"workload drifted: {_get(baseline, ('workload',))!r} -> "
+                f"{_get(candidate, ('workload',))!r}"
+            )
+        for family in ("sc_pairs", "sc"):
+            speedup = _get(candidate, ("families", family, "speedup"))
+            if (
+                not isinstance(speedup, (int, float))
+                or speedup < QUERY_MIN_GATED_SPEEDUP
+            ):
+                failures.append(
+                    f"gated family {family}: p50 speedup {speedup!r} is "
+                    f"below the required {QUERY_MIN_GATED_SPEEDUP:.1f}x"
+                )
     return failures
 
 

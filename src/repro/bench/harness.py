@@ -523,6 +523,13 @@ def _serve_bench(profile="quick") -> Table:
     return serve_bench(profile)
 
 
+def _query_bench(profile="quick") -> Table:
+    """Scalar-vs-batched query kernels (emits BENCH_query.json)."""
+    from repro.bench.query_bench import query_bench
+
+    return query_bench(profile)
+
+
 EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "table1_table2": table1_table2,
     "table3": table3,
@@ -539,6 +546,7 @@ EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "ablations": ablations,
     "build_bench": _build_bench,
     "serve_bench": _serve_bench,
+    "query_bench": _query_bench,
 }
 
 

@@ -1,0 +1,288 @@
+"""Query-kernel benchmark: batched flat-array kernels vs scalar loops.
+
+Not one of the paper's experiments — this is the repo's own latency
+baseline for the read path.  :func:`run_query_bench` builds an
+:class:`~repro.core.queries.SMCCIndex` over an SSCA-style community
+graph and times four query families, each as the scalar per-query loop
+against its vectorized counterpart on the *same* probe set:
+
+- ``sc_pairs`` — :meth:`MSTStar.sc_pair` loop vs one
+  :meth:`MSTStar.sc_pairs_batch` gather (gated: the committed speedup
+  must stay >= 5x);
+- ``sc`` — :meth:`MSTStar.steiner_connectivity` loop vs one
+  :meth:`MSTStar.steiner_connectivity_batch` pass (gated likewise);
+- ``smcc_extract`` — the pure-Python pruned BFS of
+  :meth:`MSTIndex.vertices_with_connectivity` vs the hybrid
+  pointer-jump dispatch (advisory: wall-clock only);
+- ``smcc_l`` — the Algorithm 5 bucket-queue walk of
+  :meth:`MSTIndex.smcc_l` vs the O(|q| + log |V|) interval climb of
+  :meth:`MSTStar.smcc_l_interval` (advisory).
+
+Every family first proves ``identical_answers`` — the batched kernel
+must reproduce the scalar answers exactly (vertex sets compared as
+sets; connectivities exactly) — before any timing is recorded, so the
+artifact can never show a speedup for a wrong kernel.
+
+:func:`write_bench_json` lands the record in ``BENCH_query.json``, the
+artifact the CI query job uploads and ``scripts/bench_query_smoke.py``
+asserts against (``scripts/check_bench_drift.py`` gates it against the
+committed baseline).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import repro.index.mst as _mst_mod
+from repro.bench.reporting import Table
+from repro.core.queries import SMCCIndex
+from repro.graph.generators import ssca_graph
+from repro.obs.timing import monotonic
+
+#: default output artifact name (uploaded by the CI query job)
+BENCH_JSON = "BENCH_query.json"
+
+DEFAULT_N = 3000
+DEFAULT_SEED = 42
+#: probes per batched family; the acceptance gate is stated for
+#: batch >= 1024 and the larger batch amortizes per-call setup, which
+#: is what the batch API is for
+DEFAULT_BATCH = 4096
+#: timed repetitions per engine (p50/p99 come from these samples)
+DEFAULT_REPS = 15
+
+#: probe count for the per-query (non-batchable) smcc families — their
+#: scalar engines are output-linear, so a full batch would dominate the
+#: bench's runtime without changing the comparison
+SMCC_PROBES = 256
+
+
+def _time_reps(fn: Callable[[], object], reps: int) -> List[float]:
+    """Timed samples of ``fn`` (one warmup call first), sorted ascending."""
+    fn()
+    samples: List[float] = []
+    for _ in range(reps):
+        started = monotonic()
+        fn()
+        samples.append(monotonic() - started)
+    samples.sort()
+    return samples
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    return samples[min(len(samples) - 1, int(q * len(samples)))]
+
+
+def _family_record(
+    scalar: Callable[[], object],
+    batched: Callable[[], object],
+    probes: int,
+    gated: bool,
+    reps: int,
+) -> Dict[str, Any]:
+    scalar_samples = _time_reps(scalar, reps)
+    batched_samples = _time_reps(batched, reps)
+    scalar_p50 = _percentile(scalar_samples, 0.5)
+    batched_p50 = _percentile(batched_samples, 0.5)
+    return {
+        "gated": gated,
+        "probes": probes,
+        "scalar_p50_seconds": scalar_p50,
+        "scalar_p99_seconds": _percentile(scalar_samples, 0.99),
+        "batched_p50_seconds": batched_p50,
+        "batched_p99_seconds": _percentile(batched_samples, 0.99),
+        "speedup": (scalar_p50 / batched_p50) if batched_p50 else 0.0,
+    }
+
+
+def _make_probes(
+    n: int, batch: int, seed: int
+) -> Tuple[List[int], List[int], List[Tuple[int, ...]]]:
+    """Pair and query-set probes (pairs are distinct-vertex by nudge)."""
+    rng = random.Random(seed * 31 + 3)
+    us = [rng.randrange(n) for _ in range(batch)]
+    vs = [rng.randrange(n) for _ in range(batch)]
+    vs = [v if v != u else (v + 1) % n for u, v in zip(us, vs)]
+    queries = [
+        tuple(rng.randrange(n) for _ in range(rng.randint(1, 4)))
+        for _ in range(batch)
+    ]
+    return us, vs, queries
+
+
+def run_query_bench(
+    n: int = DEFAULT_N,
+    seed: int = DEFAULT_SEED,
+    batch: int = DEFAULT_BATCH,
+    reps: int = DEFAULT_REPS,
+) -> Dict[str, Any]:
+    """Measure scalar-vs-batched latency for the four query families.
+
+    Returns a JSON-serializable record; ``identical_answers`` is the
+    correctness bit (every batched answer equals its scalar answer on
+    the full probe set) that the smoke script and the drift gate
+    enforce.
+    """
+    graph = ssca_graph(n, seed=seed)
+    index = SMCCIndex.build(graph)
+    star = index.mst_star
+    mst = index.mst
+    mst._ensure_derived()
+    us, vs, queries = _make_probes(n, batch, seed)
+
+    identical = True
+
+    # -- sc_pairs -------------------------------------------------------
+    scalar_pairs = [star.sc_pair(u, v) for u, v in zip(us, vs)]
+    if star.sc_pairs_batch(us, vs).tolist() != scalar_pairs:
+        identical = False
+
+    # -- sc -------------------------------------------------------------
+    scalar_sc = [star.steiner_connectivity(q) for q in queries]
+    if star.steiner_connectivity_batch(queries).tolist() != scalar_sc:
+        identical = False
+
+    # -- smcc_extract ---------------------------------------------------
+    max_w = mst.max_connectivity()
+    rng = random.Random(seed * 31 + 5)
+    extract_probes = [
+        (rng.randrange(n), rng.randint(1, max(max_w, 1)))
+        for _ in range(SMCC_PROBES)
+    ]
+
+    def _extract_pure_python() -> List[List[int]]:
+        saved = _mst_mod.ARRAY_KERNEL_MIN_VERTICES
+        _mst_mod.ARRAY_KERNEL_MIN_VERTICES = n + 1
+        try:
+            return [
+                mst.vertices_with_connectivity(s, k) for s, k in extract_probes
+            ]
+        finally:
+            _mst_mod.ARRAY_KERNEL_MIN_VERTICES = saved
+
+    def _extract_hybrid() -> List[List[int]]:
+        return [mst.vertices_with_connectivity(s, k) for s, k in extract_probes]
+
+    for before, after in zip(_extract_pure_python(), _extract_hybrid()):
+        if sorted(before) != sorted(after):
+            identical = False
+            break
+
+    # -- smcc_l ---------------------------------------------------------
+    smcc_l_probes: List[Tuple[Tuple[int, int], int]] = []
+    comp = mst.component
+    comp_size: Dict[int, int] = {}
+    for c in comp:
+        comp_size[c] = comp_size.get(c, 0) + 1
+    rng2 = random.Random(seed * 31 + 11)
+    while len(smcc_l_probes) < SMCC_PROBES:
+        a, b = rng2.randrange(n), rng2.randrange(n)
+        bound = rng2.randint(2, 8)
+        # Probes stay feasible: the walk raises on components smaller
+        # than the bound, which is not what this family measures.
+        if a != b and comp[a] == comp[b] and comp_size[comp[a]] >= bound:
+            smcc_l_probes.append(((a, b), bound))
+
+    def _smcc_l_walk() -> List[Tuple[List[int], int]]:
+        return [mst.smcc_l(q, bound) for q, bound in smcc_l_probes]
+
+    def _smcc_l_interval() -> List[Tuple[List[int], int]]:
+        out = []
+        leaf_order = star.leaf_order
+        for q, bound in smcc_l_probes:
+            k, start, end = star.smcc_l_interval(q, bound)
+            out.append((leaf_order[start:end], k))
+        return out
+
+    for (walk_v, walk_k), (intv_v, intv_k) in zip(
+        _smcc_l_walk(), _smcc_l_interval()
+    ):
+        if walk_k != intv_k or sorted(walk_v) != sorted(intv_v):
+            identical = False
+            break
+
+    families = {
+        "sc_pairs": _family_record(
+            lambda: [star.sc_pair(u, v) for u, v in zip(us, vs)],
+            lambda: star.sc_pairs_batch(us, vs),
+            probes=batch,
+            gated=True,
+            reps=reps,
+        ),
+        "sc": _family_record(
+            lambda: [star.steiner_connectivity(q) for q in queries],
+            lambda: star.steiner_connectivity_batch(queries),
+            probes=batch,
+            gated=True,
+            reps=reps,
+        ),
+        "smcc_extract": _family_record(
+            _extract_pure_python,
+            _extract_hybrid,
+            probes=SMCC_PROBES,
+            gated=False,
+            reps=max(3, reps // 3),
+        ),
+        "smcc_l": _family_record(
+            _smcc_l_walk,
+            _smcc_l_interval,
+            probes=SMCC_PROBES,
+            gated=False,
+            reps=max(3, reps // 3),
+        ),
+    }
+    return {
+        "bench": "query",
+        "workload": {
+            "generator": "ssca",
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "seed": seed,
+            "batch": batch,
+            "smcc_probes": SMCC_PROBES,
+            "reps": reps,
+        },
+        "identical_answers": identical,
+        "families": families,
+    }
+
+
+def write_bench_json(
+    path: str = BENCH_JSON, result: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Run the bench (unless ``result`` is given) and write the artifact."""
+    if result is None:
+        result = run_query_bench()
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def query_bench(profile: str = "quick") -> Table:
+    """Harness entry point: batched query-kernel latency.
+
+    Registered as ``query_bench`` in the experiment registry; also
+    emits :data:`BENCH_JSON` into the working directory as a side
+    effect so ``repro bench query_bench`` doubles as the baseline
+    generator.
+    """
+    result = write_bench_json(result=run_query_bench())
+    table = Table(
+        "Query bench: scalar vs batched kernel latency (p50 per family)",
+        ["Family", "probes", "scalar p50 ms", "batched p50 ms",
+         "speedup", "gated", "identical"],
+    )
+    for name, family in sorted(result["families"].items()):
+        table.add_row(
+            name,
+            family["probes"],
+            family["scalar_p50_seconds"] * 1e3,
+            family["batched_p50_seconds"] * 1e3,
+            family["speedup"],
+            family["gated"],
+            result["identical_answers"],
+        )
+    return table

@@ -303,15 +303,19 @@ class SMCCIndex:
         return SMCCInterval(self.mst_star, sc, start, end, query_stats=stats)
 
     def smcc_l(self, q: Sequence[int], *args, size_bound: Optional[int] = None) -> SMCCResult:
-        """The SMCC_L of ``q`` (Algorithm 5), O(result) time."""
+        """The SMCC_L of ``q`` — O(|q| + log |V|) via the MST* climb.
+
+        Falls back to Algorithm 5's O(result) prioritized search when
+        the MST* is unavailable; see :func:`~repro.core.smcc_l.smcc_l_opt`.
+        """
         size_bound = self._required_option(
             "SMCCIndex.smcc_l", "size_bound", size_bound, args
         )
         if _obs.REGISTRY is None and _obs.get_active_stats() is None:
-            vertices, k = smcc_l_opt(self.mst, q, size_bound)
+            vertices, k = smcc_l_opt(self.mst, q, size_bound, mst_star=self.mst_star)
             return SMCCResult(vertices, k)
         with profiled_query("smcc_l", query_size=len(q)) as stats, span("query.smcc_l"):
-            vertices, k = smcc_l_opt(self.mst, q, size_bound)
+            vertices, k = smcc_l_opt(self.mst, q, size_bound, mst_star=self.mst_star)
         return SMCCResult(vertices, k, query_stats=stats)
 
     def steiner_connectivity_with_size(
@@ -387,6 +391,22 @@ class SMCCIndex:
         ndarray is wanted.
         """
         return self.mst_star.sc_pairs_batch(us, vs).tolist()
+
+    def steiner_connectivity_batch(self, queries: Sequence[Sequence[int]]) -> List[int]:
+        """Vectorized ``sc(q)`` for a whole batch of queries.
+
+        One sparse-table RMQ gather answers every query at once — see
+        :meth:`MSTStar.steiner_connectivity_batch`.  Disconnected
+        queries (and isolated singletons) answer 0 instead of raising,
+        the batch convention shared with :meth:`sc_pairs_batch`.
+        Returns a plain ``list[int]``, aligned with ``queries``.
+        """
+        if _obs.REGISTRY is None and _obs.get_active_stats() is None:
+            return self.mst_star.steiner_connectivity_batch(queries).tolist()
+        with profiled_query("sc_batch", query_size=len(queries)), span(
+            "query.sc_batch"
+        ):
+            return self.mst_star.steiner_connectivity_batch(queries).tolist()
 
     def to_scipy_linkage(self):
         """The connectivity dendrogram as a SciPy ``linkage`` matrix.

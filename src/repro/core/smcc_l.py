@@ -5,23 +5,43 @@ vertex, backed by a bucket max-queue so the total cost is linear in the
 result size.  The connectivity ``k`` of the answer is fixed at the
 moment the visited set first covers the query and reaches the size
 bound: ``k`` = the minimum weight among the edges popped so far.
+
+When an MST* is on hand the same answer is read off its interval view
+in O(|q| + log |V|) instead — see :meth:`MSTStar.smcc_l_interval`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.index.mst import MSTIndex
+from repro.index.mst_star import MSTStar
 
 
 def smcc_l_opt(
-    mst: MSTIndex, q: Sequence[int], size_bound: int
+    mst: MSTIndex,
+    q: Sequence[int],
+    size_bound: int,
+    mst_star: Optional[MSTStar] = None,
 ) -> Tuple[List[int], int]:
     """Compute the SMCC_L of ``q``: ``(vertices, connectivity)``.
+
+    With an ``mst_star`` the answer comes from the O(|q| + log |V|)
+    ancestor climb of :meth:`MSTStar.smcc_l_interval` — the candidate
+    components are the MST* ancestors of the query's set-LCA, so the
+    result is *described* without enumerating it and only the final
+    leaf-order slice is materialized.  Without one (or on a delta
+    snapshot star, which has no global interval view) the prioritized
+    search of Algorithm 5 runs on the MST.  Both paths return the same
+    vertex set and connectivity; only the vertex order differs (leaf
+    order vs discovery order).
 
     Raises :class:`~repro.errors.InfeasibleSizeConstraintError` when the
     connected component containing ``q`` has fewer than ``size_bound``
     vertices, and :class:`~repro.errors.DisconnectedQueryError` when the
     query spans components.
     """
+    if mst_star is not None and mst_star.has_interval_smcc_l:
+        k, start, end = mst_star.smcc_l_interval(q, size_bound)
+        return mst_star.leaf_order[start:end], k
     return mst.smcc_l(q, size_bound)

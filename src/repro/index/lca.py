@@ -10,6 +10,26 @@ is negligible at any practical scale; see DESIGN.md §3).
 
 The structure supports *forests*: an LCA query across two different
 trees returns ``None``.
+
+Two coordinated representations are kept, both built at construction:
+
+- plain Python lists (``_first``/``_component``/``_euler``/``_depth``/
+  ``_table``/``_log``) — CPython scalar indexing on lists is several
+  times faster than numpy scalar indexing, and :meth:`lca` is the hot
+  path of SC-MST*;
+- contiguous ``int64`` arrays (:attr:`first_arr`, :attr:`component_arr`,
+  :attr:`euler_arr`, :attr:`depth_arr`, :attr:`log_arr`,
+  :attr:`table2d`) — the gather buffers behind the batched query
+  kernels (:meth:`~repro.index.mst_star.MSTStar.sc_pairs_batch`,
+  :meth:`~repro.index.mst_star.MSTStar.steiner_connectivity_batch`).
+  The sparse table is kept as one dense ``(levels, m)`` matrix so a
+  whole batch's RMQ is two fancy-indexed gathers (``table2d[j, l]`` /
+  ``table2d[j, r - 2^j + 1]``) instead of a Python loop over levels.
+  Building them eagerly (they are byproducts of the vectorized sparse
+  table build anyway) means every snapshot that shares the MST* by
+  identity — delta publishes, frozen captures — shares one set of
+  buffers across generations instead of each lazily materializing its
+  own copy.
 """
 
 from __future__ import annotations
@@ -63,17 +83,26 @@ class EulerTourLCA:  # deep-frozen
         self._first: List[int] = first.tolist()
         self._component: List[int] = component.tolist()
         self._euler: List[int] = euler
+        #: int64 gather buffers for the batched kernels (shared, frozen
+        #: with the snapshot; never mutated after construction)
+        self.first_arr: np.ndarray = first
+        self.component_arr: np.ndarray = component
+        self.euler_arr: np.ndarray = np.asarray(euler, dtype=np.int64)
         self._build_sparse_table(np.asarray(depth, dtype=np.int64))
 
     def _build_sparse_table(self, depth: np.ndarray) -> None:
         m = len(depth)
         self._depth: List[int] = depth.tolist()
+        self.depth_arr: np.ndarray = depth
         if m == 0:
             self._table: List[List[int]] = [[]]
             self._log: List[int] = [0]
+            self.table2d: np.ndarray = np.zeros((1, 0), dtype=np.int64)
+            self.log_arr: np.ndarray = np.zeros(1, dtype=np.int64)
             return
         # table[j][i] = index (into euler) of the min-depth entry in
-        # depth[i : i + 2^j]; built vectorized, queried as lists.
+        # depth[i : i + 2^j]; built vectorized, queried as lists (the
+        # scalar path) and as the dense level matrix (the batch path).
         levels: List[np.ndarray] = [np.arange(m, dtype=np.int64)]
         j = 1
         while (1 << j) <= m:
@@ -85,10 +114,19 @@ class EulerTourLCA:  # deep-frozen
             levels.append(np.where(take_right, right, left))
             j += 1
         self._table = [level.tolist() for level in levels]
+        # Dense (levels, m) matrix: row j is level j zero-padded to m.
+        # A level-j RMQ only reads positions <= m - 2^j, so the padding
+        # is never gathered; the payoff is that a whole batch resolves
+        # with two fancy-indexed gathers instead of a per-level loop.
+        table2d = np.zeros((len(levels), m), dtype=np.int64)
+        for jj, level in enumerate(levels):
+            table2d[jj, : level.size] = level
+        self.table2d = table2d
         log = [0] * (m + 1)
         for i in range(2, m + 1):
             log[i] = log[i >> 1] + 1
         self._log = log
+        self.log_arr = np.asarray(log, dtype=np.int64)
 
     def lca(self, u: int, v: int) -> Optional[int]:
         """LCA of ``u`` and ``v``; None if they lie in different trees."""

@@ -24,7 +24,10 @@ edge deletions keep working; queries spanning two components raise
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
 
 from repro.analysis.contracts import invariant
 from repro.analysis.lemmas import is_maximum_spanning_forest, tq_min_weight_matches
@@ -42,6 +45,20 @@ from repro.util.disjoint_set import DisjointSet
 
 Edge = Tuple[int, int]
 
+#: Minimum graph size for the hybrid SMCC-extraction dispatch.  Below
+#: this vertex count :meth:`MSTIndex.vertices_with_connectivity` always
+#: runs the pure-Python pruned BFS (the array kernel's O(|V|) passes
+#: cost more than the whole output-linear walk); at or above it, the
+#: BFS runs with a ``|V| // 8`` switch budget and hands large
+#: extractions to the pointer-jumping kernel
+#: (:meth:`MSTIndex._vertices_with_connectivity_array`), measured 9-16x
+#: faster than the Python BFS on near-whole-graph components at
+#: n >= 3000.  Measured on ssca graphs (see docs/PERFORMANCE.md,
+#: "Query-kernel dispatch"); the level-by-level CSR frontier sweep was
+#: also measured and rejected — tree depth makes its per-level numpy
+#: overhead dominate at every tested size.
+ARRAY_KERNEL_MIN_VERTICES = 2048
+
 
 class MSTIndex:
     """Maximum spanning forest of a connectivity graph, with query support."""
@@ -54,6 +71,11 @@ class MSTIndex:
         self.non_tree = EdgeBuckets()
         # Derived read structures (lazy; see _ensure_derived).
         self._sorted_adj: Optional[List[List[Tuple[int, int]]]] = None
+        # CSR mirror of _sorted_adj for the vectorized scan accounting;
+        # rows keep the non-increasing weight order.
+        self._csr: Optional["CSRGraph"] = None
+        # int64 mirrors of the rooted arrays for the pointer-jump kernel
+        self._rooted_arrs: Optional[Tuple["object", "object", "object"]] = None
         self._parent: Optional[List[int]] = None
         self._parent_weight: Optional[List[int]] = None
         self._level: Optional[List[int]] = None
@@ -129,6 +151,8 @@ class MSTIndex:
     def invalidate(self) -> None:
         """Mark derived read structures stale (rebuilt on next query)."""
         self._sorted_adj = None
+        self._csr = None
+        self._rooted_arrs = None
         self._parent = None
 
     # ------------------------------------------------------------------
@@ -218,6 +242,56 @@ class MSTIndex:
         self._ensure_derived()
         return self._sorted_adj[u]  # type: ignore[index]
 
+    def _ensure_csr(self) -> "CSRGraph":
+        """CSR mirror of ``_sorted_adj`` for the vectorized accounting.
+
+        Rows keep the non-increasing weight order, so a row's heavy
+        prefix (weight >= k) is contiguous.  Rebuilt lazily after
+        :meth:`invalidate`, like every derived read structure.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            from repro.graph.csr import CSRGraph
+
+            self._ensure_derived()
+            sorted_adj = self._sorted_adj
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(
+                [len(row) for row in sorted_adj],  # type: ignore[union-attr]
+                out=indptr[1:],
+            )
+            total = int(indptr[-1])
+            nbr = np.fromiter(
+                (v for row in sorted_adj for _, v in row),  # type: ignore[union-attr]
+                dtype=np.int64,
+                count=total,
+            )
+            wt = np.fromiter(
+                (w for row in sorted_adj for w, _ in row),  # type: ignore[union-attr]
+                dtype=np.int64,
+                count=total,
+            )
+            self._csr = CSRGraph(indptr, nbr, wt)
+        return self._csr
+
+    def _ensure_rooted_arrays(self):
+        """int64 views of the rooted arrays for the pointer-jump kernel.
+
+        ``(parent, parent_weight, identity)`` where ``identity`` is the
+        cached ``arange(n)``.  Rebuilt lazily after :meth:`invalidate`.
+        """
+        if self._rooted_arrs is None:
+            import numpy as np
+
+            self._ensure_derived()
+            self._rooted_arrs = (
+                np.asarray(self._parent, dtype=np.int64),
+                np.asarray(self._parent_weight, dtype=np.int64),
+                np.arange(self.n, dtype=np.int64),
+            )
+        return self._rooted_arrs
+
     # ------------------------------------------------------------------
     # Query: steiner-connectivity via the LCA walk (SC-MST, Algorithm 10)
     # ------------------------------------------------------------------
@@ -306,13 +380,29 @@ class MSTIndex:
         return self.vertices_with_connectivity(q[0], sc), sc
 
     def vertices_with_connectivity(self, source: int, k: int) -> List[int]:
-        """The k-edge connected component of ``source``: pruned BFS on T.
+        """The k-edge connected component of ``source``.
 
-        Visits only tree edges with weight >= ``k``; since adjacency is
-        sorted by non-increasing weight, each visited vertex's scan stops
-        at the first light edge, giving output-linear time (Lemma 4.6).
+        Two property-tested-identical engines behind a hybrid result-size
+        dispatch (the PR-3 pattern):
+
+        - the paper's pruned Python BFS — adjacency is sorted by
+          non-increasing weight, so each vertex's scan stops at the
+          first light edge, giving output-linear time (Lemma 4.6).  On
+          graphs with at least :data:`ARRAY_KERNEL_MIN_VERTICES`
+          vertices it runs with a ``|V| // 8`` switch budget;
+        - when the visited set outgrows that budget, the walk is
+          abandoned and the whole extraction reruns on the
+          pointer-jumping kernel
+          (:meth:`_vertices_with_connectivity_array`), whose cost is a
+          few O(|V|) numpy passes — measured 9-16x faster than the
+          Python BFS on near-whole-graph components, while the budget
+          bound keeps small extractions on the output-linear path.
+
+        Vertex order differs between the engines (FIFO discovery vs
+        ascending ids); they agree as sets.
         """
         self._ensure_derived()
+        budget = self.n >> 3 if self.n >= ARRAY_KERNEL_MIN_VERTICES else self.n
         sorted_adj = self._sorted_adj
         self._epoch += 1
         epoch, marks = self._epoch, self._visit_epoch
@@ -328,23 +418,70 @@ class MSTIndex:
                     marks[v] = epoch
                     result.append(v)
                     queue.append(v)
+            if len(result) > budget:
+                result = self._vertices_with_connectivity_array(source, k)
+                break
         stats = _obs.get_active_stats()
         if stats is not None:
-            # Replay the scans the BFS just performed (heavy entries plus
-            # the one light probe per vertex) so the hot loop stays clean.
+            # Account for the scans a pruned sweep performs (the heavy
+            # prefix plus the one light probe that stops each row) so
+            # the hot loops above stay clean.  The count is what the
+            # Python BFS *would* scan, regardless of the engine used,
+            # keeping the output-sensitivity counters engine-independent.
             stats.vertices_touched += len(result)
-            scanned = 0
-            for u in result:
-                adj = sorted_adj[u]  # type: ignore[index]
-                heavy = 0
-                for w, _ in adj:
-                    if w < k:
-                        heavy += 1  # the probe that stopped the scan
-                        break
-                    heavy += 1
-                scanned += heavy
-            stats.tree_edges_scanned += scanned
+            stats.tree_edges_scanned += self._pruned_scan_edges(result, k)
         return result
+
+    def _vertices_with_connectivity_array(self, source: int, k: int) -> List[int]:
+        """Pointer-jumping kernel: the k-ecc of ``source`` in ascending id order.
+
+        Keep each rooted tree edge ``v -> parent[v]`` iff its weight is
+        >= k; ``rep[v]`` then converges, by repeated ``rep = rep[rep]``
+        squaring, to the highest ancestor of ``v`` reachable over kept
+        edges.  Two vertices lie in the same k-ecc iff their tree path
+        uses only kept edges, which happens iff they climb to the same
+        top — so the component of ``source`` is one equality mask.
+        O(|V| log depth) total, independent of the result size.
+        """
+        import numpy as np
+
+        parent, parent_weight, identity = self._ensure_rooted_arrays()
+        keep = (parent_weight >= k) & (parent >= 0)
+        rep = np.where(keep, parent, identity)
+        while True:
+            nxt = rep[rep]
+            if bool(np.array_equal(nxt, rep)):
+                break
+            rep = nxt
+        return np.nonzero(rep == rep[source])[0].tolist()
+
+    def _pruned_scan_edges(self, result: List[int], k: int) -> int:
+        """Edges a pruned scan of ``result``'s rows examines.
+
+        Per row: the heavy prefix (weight >= k) plus the one light
+        probe that stops the scan — ``min(heavy + 1, degree)``.  The
+        heavy prefix lengths come from one segmented reduce over the
+        CSR weight array instead of a per-edge Python replay.
+        """
+        import numpy as np
+
+        csr = self._ensure_csr()
+        indptr, wt = csr.indptr, csr.weights
+        rows = np.asarray(result, dtype=np.int64)
+        starts = indptr[rows]
+        counts = indptr[rows + 1] - starts
+        nz = counts > 0
+        if not nz.any():
+            return 0
+        starts = starts[nz]
+        counts = counts[nz]
+        boundaries = np.cumsum(counts)
+        seg_starts = boundaries - counts
+        idx = np.arange(int(boundaries[-1]), dtype=np.int64) + np.repeat(
+            starts - seg_starts, counts
+        )
+        heavy = np.add.reduceat((wt[idx] >= k).astype(np.int64), seg_starts)
+        return int(np.minimum(heavy + 1, counts).sum())
 
     # ------------------------------------------------------------------
     # Query: SMCC with size constraint (Algorithm 5)

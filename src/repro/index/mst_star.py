@@ -22,13 +22,17 @@ build is O(|V|) after the O(|V|) bin sort.
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.analysis.contracts import invariant
 from repro.analysis.lemmas import mst_star_consistent
 from repro.errors import (
     DisconnectedQueryError,
     EmptyQueryError,
+    InfeasibleSizeConstraintError,
     InternalInvariantError,
     VertexNotFoundError,
 )
@@ -38,8 +42,29 @@ from repro.obs import runtime as _obs
 from repro.util.disjoint_set import DisjointSetWithRoot
 
 
-class MSTStar:  # frozen-after: _batch_arrays
-    """The MST* tree with O(1) LCA, answering sc queries in O(|q|)."""
+def _first_invalid_vertex(us: np.ndarray, vs: np.ndarray, n: int) -> int:
+    """The first out-of-range vertex of a pair batch, in (u, v) scan order."""
+    bad_us = (us < 0) | (us >= n)
+    bad_vs = (vs < 0) | (vs >= n)
+    i = int(np.argmax(bad_us | bad_vs))
+    return int(us[i]) if bad_us[i] else int(vs[i])
+
+
+class MSTStar:  # deep-frozen
+    """The MST* tree with O(1) LCA, answering sc queries in O(|q|).
+
+    Construction eagerly materializes every read structure — the Euler
+    tour LCA tables (scalar lists *and* the int64 gather arrays used by
+    the batched kernels), the leaf-interval view, and the binary-lifting
+    jump table — so instances are deeply immutable from the moment they
+    exist.  Snapshots that share an MST* by identity (delta publishes)
+    therefore share one set of batch buffers across generations.
+    """
+
+    #: True when :meth:`smcc_l_interval` is available (delta snapshots
+    #: opt out — their patched leaf order has no single global interval
+    #: view, so they keep the Algorithm 5 walk).
+    has_interval_smcc_l = True
 
     def __init__(
         self,
@@ -59,6 +84,7 @@ class MSTStar:  # frozen-after: _batch_arrays
         self._lca = EulerTourLCA(parents)
         self._build_leaf_intervals()
         self._build_jump_table()
+        self._build_batch_arrays()
 
     # ------------------------------------------------------------------
     # Interval view: every MST* subtree (= every k-ecc) is a contiguous
@@ -144,6 +170,63 @@ class MSTStar:  # frozen-after: _batch_arrays
         start, end = self.component_interval(vertex, k)
         return self.leaf_order[start:end]
 
+    # ------------------------------------------------------------------
+    # Batched kernels: struct-of-arrays RMQ over the Euler-tour sparse
+    # table.  One gather pass answers thousands of LCA probes.
+    # ------------------------------------------------------------------
+    def _build_batch_arrays(self) -> None:
+        """Alias the LCA's eager int64 gather buffers (no copies)."""
+        lca = self._lca
+        self._parents_arr = np.asarray(self.parents, dtype=np.int64)
+        self._weights_arr = np.asarray(self.weights, dtype=np.int64)
+        self._np_arrays = (
+            lca.first_arr,
+            lca.component_arr,
+            lca.euler_arr,
+            lca.depth_arr,
+            lca.log_arr,
+            lca.table2d,
+            self._weights_arr,
+        )
+
+    def _batch_arrays(self):
+        """The int64 gather buffers behind the batched kernels.
+
+        Built eagerly at construction (they alias the
+        :class:`EulerTourLCA` buffers, themselves byproducts of the
+        vectorized sparse-table build), so frozen and delta snapshots
+        that share this MST* by identity share one buffer set across
+        generations instead of each materializing a lazy copy.
+        """
+        return self._np_arrays
+
+    def _pairwise_sc_raw(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Raw batched ``sc`` gather — no validation.
+
+        ``us``/``vs`` must be in-range int64 arrays of equal length.
+        Cross-component pairs yield 0 (the batch convention), and
+        ``u == v`` pairs fall out as 0 naturally (the RMQ lands on the
+        leaf itself, whose weight is 0).  Delta snapshots override this
+        to route patched leaves; the validating wrappers
+        (:meth:`sc_pairs_batch`, :meth:`steiner_connectivity_batch`)
+        are inherited unchanged.
+        """
+        first, component, euler, depth, log, table2d, weights = self._np_arrays
+        left = first[us]
+        right = first[vs]
+        left2 = np.minimum(left, right)
+        right2 = np.maximum(left, right)
+        span = right2 - left2 + 1
+        j = log[span]
+        # Dense sparse-table RMQ: the two covering power-of-two windows
+        # resolve as two fancy-indexed gathers over the level matrix.
+        a = table2d[j, left2]
+        b = table2d[j, right2 - np.left_shift(np.int64(1), j) + 1]
+        best = np.where(depth[a] <= depth[b], a, b)
+        sc = weights[euler[best]]
+        same = component[us] == component[vs]
+        return np.where(same, sc, 0)
+
     def sc_pairs_batch(self, us, vs):
         """Vectorized ``sc(u, v)`` for parallel arrays of pairs.
 
@@ -152,60 +235,96 @@ class MSTStar:  # frozen-after: _batch_arrays
         LCA call per pair — 1–2 orders of magnitude faster for large
         batches (analytics workloads: all-pairs studies, similarity
         matrices).  Pairs in different components yield 0; ``u == v``
-        pairs are invalid (ValueError).
+        pairs are invalid (ValueError); an out-of-range vertex raises
+        :class:`VertexNotFoundError` naming the first offender in
+        (u, v) scan order.
         """
-        import numpy as np
-
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
         if us.shape != vs.shape:
             raise ValueError("us and vs must have the same shape")
         if us.size == 0:
             return np.zeros(0, dtype=np.int64)
-        if (us < 0).any() or (us >= self.num_leaves).any() or \
-           (vs < 0).any() or (vs >= self.num_leaves).any():
-            raise VertexNotFoundError(int(us.max()))
+        n = self.num_leaves
+        if (
+            int(us.min()) < 0
+            or int(us.max()) >= n
+            or int(vs.min()) < 0
+            or int(vs.max()) >= n
+        ):
+            raise VertexNotFoundError(_first_invalid_vertex(us, vs, n))
         if (us == vs).any():
             raise ValueError("sc of a vertex with itself is undefined")
-        arrays = self._batch_arrays()
-        first, component, euler, depth, log, tables, weights = arrays
-        left = first[us]
-        right = first[vs]
-        swap = left > right
-        left2 = np.where(swap, right, left)
-        right2 = np.where(swap, left, right)
-        span = right2 - left2 + 1
-        j = log[span]
-        a = np.empty(us.size, dtype=np.int64)
-        b = np.empty(us.size, dtype=np.int64)
-        for level in np.unique(j):
-            mask = j == level
-            row = tables[level]
-            a[mask] = row[left2[mask]]
-            b[mask] = row[right2[mask] - (1 << int(level)) + 1]
-        best = np.where(depth[a] <= depth[b], a, b)
-        sc = weights[euler[best]]
-        same = component[us] == component[vs]
-        return np.where(same, sc, 0)
+        return self._pairwise_sc_raw(us, vs)
 
-    def _batch_arrays(self):
-        """Numpy copies of the LCA structures (built lazily, cached)."""
-        import numpy as np
+    def steiner_connectivity_batch(self, queries: Sequence[Sequence[int]]) -> np.ndarray:
+        """Vectorized Algorithm 11 over a whole query *set*.
 
-        cached = getattr(self, "_np_arrays", None)
-        if cached is None:
-            lca = self._lca
-            cached = (
-                np.asarray(lca._first, dtype=np.int64),
-                np.asarray(lca._component, dtype=np.int64),
-                np.asarray(lca._euler, dtype=np.int64),
-                np.asarray(lca._depth, dtype=np.int64),
-                np.asarray(lca._log, dtype=np.int64),
-                [np.asarray(row, dtype=np.int64) for row in lca._table],
-                np.asarray(self.weights, dtype=np.int64),
-            )
-            self._np_arrays = cached
-        return cached
+        Every query's vertices are broadcast against its first vertex
+        (the anchor) and the flattened batch goes through one
+        sparse-table RMQ pass (:meth:`_pairwise_sc_raw`), then a
+        segmented ``minimum.reduceat`` folds each query's pair values.
+        Returns one int64 sc value per query.
+
+        Unlike the scalar :meth:`steiner_connectivity`, disconnected
+        queries and isolated singletons answer 0 — the serving batch
+        convention — instead of raising; out-of-range vertices still
+        raise :class:`VertexNotFoundError` (first offender in flat
+        order) and empty queries :class:`EmptyQueryError`.  Duplicate
+        vertices inside a query are harmless: self-pairs are masked
+        positionally, so ``[v, v]`` answers like the deduplicated
+        singleton ``[v]``.
+        """
+        if not isinstance(queries, list):
+            queries = list(queries)
+        if not queries:
+            return np.zeros(0, dtype=np.int64)
+        lengths = np.fromiter(map(len, queries), dtype=np.int64, count=len(queries))
+        if not lengths.all():
+            raise EmptyQueryError("query vertex set is empty")
+        total = int(lengths.sum())
+        flat = np.fromiter(
+            chain.from_iterable(queries), dtype=np.int64, count=total
+        )
+        if int(flat.min()) < 0 or int(flat.max()) >= self.num_leaves:
+            bad = (flat < 0) | (flat >= self.num_leaves)
+            raise VertexNotFoundError(int(flat[np.argmax(bad)]))
+        starts = np.zeros(len(queries), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        anchors = flat[starts]
+        us = np.repeat(anchors, lengths)
+        pair_sc = self._pairwise_sc_raw(us, flat)
+        # Self-pairs (the anchor against itself, and any duplicate of
+        # the anchor) would contribute spurious 0s to the per-query min;
+        # mask them to +inf so queries that are *all* anchor duplicates
+        # surface as singletons below.
+        sentinel = np.iinfo(np.int64).max
+        masked = np.where(us == flat, sentinel, pair_sc)
+        per_query = np.minimum.reduceat(masked, starts)
+        singleton = per_query == sentinel
+        if singleton.any():
+            # sc({v}) = weight of the leaf's MST* parent (Section 2's
+            # reduction read off Lemma A.1); isolated vertices answer 0.
+            idx = np.nonzero(singleton)[0]
+            parents_arr = getattr(self, "_parents_arr", None)
+            if parents_arr is not None:
+                par = parents_arr[anchors[idx]]
+                per_query[idx] = np.where(
+                    par >= 0, self._weights_arr[np.maximum(par, 0)], 0
+                )
+            else:
+                # Delta snapshots expose parents/weights as views; the
+                # few singleton anchors go through the scalar objects.
+                parents, weights = self.parents, self.weights
+                per_query[idx] = np.fromiter(
+                    (
+                        weights[parents[v]] if parents[v] >= 0 else 0
+                        for v in anchors[idx].tolist()
+                    ),
+                    dtype=np.int64,
+                    count=len(idx),
+                )
+        return per_query
 
     def smcc_interval(self, q: Sequence[int]) -> Tuple[int, int, int]:
         """The SMCC of ``q`` as ``(sc, start, end)`` in O(|q| + log |V|).
@@ -219,6 +338,81 @@ class MSTStar:  # frozen-after: _batch_arrays
         q0 = next(iter(q))
         start, end = self.component_interval(q0, sc)
         return sc, start, end
+
+    def smcc_l_interval(
+        self, q: Sequence[int], size_bound: int
+    ) -> Tuple[int, int, int]:
+        """The SMCC_L of ``q`` as ``(k, start, end)`` in O(|q| + log |V|).
+
+        Interval counterpart of :meth:`MSTIndex.smcc_l` (Algorithm 5):
+        the candidate components containing ``q`` are exactly the
+        subtrees of the ancestors of the set-LCA of ``q``'s leaves, with
+        non-increasing weight toward the root — so the answer is the
+        deepest ancestor whose leaf interval reaches ``size_bound``, and
+        ``k`` is its weight.  The returned interval is the *maximal*
+        k-ecc (equal-weight ancestor chains are absorbed via
+        :meth:`component_interval`), matching the vertex set Algorithm 5
+        enumerates, but found without touching any of its vertices.
+
+        Singleton queries anchor the climb at the leaf's parent, which
+        reproduces Algorithm 5's ``sc({v})`` convention; an isolated
+        vertex with ``size_bound <= 1`` answers ``(0, pos, pos + 1)``.
+        Raises :class:`InfeasibleSizeConstraintError` when the whole
+        component is smaller than ``size_bound``.
+        """
+        q = list(dict.fromkeys(q))
+        if not q:
+            raise EmptyQueryError("query vertex set is empty")
+        for v in q:
+            if not (0 <= v < self.num_leaves):
+                raise VertexNotFoundError(v)
+        v0 = q[0]
+        lca = self._lca
+        if len(q) == 1:
+            node = self.parents[v0]
+            if node < 0:
+                pos = self.leaf_position[v0]
+                if size_bound <= 1:
+                    return 0, pos, pos + 1
+                raise InfeasibleSizeConstraintError(size_bound, 1)
+        else:
+            component = lca._component
+            c0 = component[v0]
+            for v in q[1:]:
+                if component[v] != c0:
+                    raise DisconnectedQueryError(
+                        f"query vertices {v0} and {v} are in different components"
+                    )
+            # Set-LCA via the Euler tour: the LCA of the leaves with the
+            # extreme first-occurrence positions covers the whole set.
+            first = lca._first
+            lo = min(q, key=first.__getitem__)
+            hi = max(q, key=first.__getitem__)
+            node = lca.lca(lo, hi)
+            if node is None:  # unreachable: components matched above
+                raise InternalInvariantError(
+                    "set-LCA missing for a single-component query"
+                )
+        parents = self.parents
+        interval_start = self._interval_start
+        interval_end = self._interval_end
+        climbed = 0
+        while True:
+            start, end = interval_start[node], interval_end[node]
+            if end - start >= size_bound:
+                k = self.weights[node]
+                stats = _obs.get_active_stats()
+                if stats is not None:
+                    stats.lca_calls += 1 if len(q) > 1 else 0
+                    stats.vertices_touched += len(q) + climbed
+                # Expand across any equal-weight ancestor chain to the
+                # maximal k-ecc (what Algorithm 5's sweep enumerates).
+                return (k,) + self.component_interval(v0, k)
+            parent = parents[node]
+            if parent < 0:
+                raise InfeasibleSizeConstraintError(size_bound, end - start)
+            node = parent
+            climbed += 1
 
     # ------------------------------------------------------------------
     @property

@@ -201,9 +201,9 @@ def _build_region_star(
             parents[root_u] = node
             parents[root_v] = node
             ds.union_with_root(lu, lv, node)
-    star = MSTStar(num_leaves, parents, star_weights, tree_edge_of_node)
-    star._batch_arrays()
-    return star
+    # MSTStar construction is eager: the patch arrives with its LCA
+    # tables and int64 gather buffers already materialized.
+    return MSTStar(num_leaves, parents, star_weights, tree_edge_of_node)
 
 
 # ----------------------------------------------------------------------
@@ -301,6 +301,10 @@ class DeltaStar(MSTStar):
     proportional to log-depth tables is shared.
     """
 
+    # The patched leaf order has no single global interval/ancestor
+    # view, so smcc_l keeps the Algorithm 5 walk on delta snapshots.
+    has_interval_smcc_l = False
+
     def __init__(
         self,
         base: MSTStar,  # escape: owned
@@ -350,8 +354,6 @@ class DeltaStar(MSTStar):
         for v, local in self._local_of.items():
             local_map[v] = local
         self._local_map = local_map
-        base._batch_arrays()
-        patch._batch_arrays()
 
     # -- queries -------------------------------------------------------
     def steiner_connectivity(self, q: Sequence[int]) -> int:
@@ -401,32 +403,28 @@ class DeltaStar(MSTStar):
             return self.patch.sc_pair(local_u, local_v)
         return self.base.sc_pair(u, v)
 
-    def sc_pairs_batch(self, us, vs):
+    def _pairwise_sc_raw(self, us, vs):
+        """Route the raw pair gather: both-in-region pairs go through
+        the patch tables (as local ids), everything else through the
+        base — which is exact for them, because any cross-boundary tree
+        path leaves the contracted region via unchanged edges.  The
+        validating wrappers (``sc_pairs_batch``,
+        ``steiner_connectivity_batch``) are inherited from MSTStar.
+        """
         import numpy as np
 
-        us = np.asarray(us, dtype=np.int64)
-        vs = np.asarray(vs, dtype=np.int64)
-        if us.shape != vs.shape:
-            raise ValueError("us and vs must have the same shape")
-        if us.size == 0:
-            return np.zeros(0, dtype=np.int64)
-        if (us < 0).any() or (us >= self.num_leaves).any() or \
-           (vs < 0).any() or (vs >= self.num_leaves).any():
-            raise VertexNotFoundError(int(us.max()))
-        if (us == vs).any():
-            raise ValueError("sc of a vertex with itself is undefined")
         local_map = self._local_map
         local_us = local_map[us]
         local_vs = local_map[vs]
         both = (local_us >= 0) & (local_vs >= 0)
         out = np.empty(us.size, dtype=np.int64)
         if bool(both.any()):
-            out[both] = self.patch.sc_pairs_batch(
+            out[both] = self.patch._pairwise_sc_raw(
                 local_us[both], local_vs[both]
             )
         rest = ~both
         if bool(rest.any()):
-            out[rest] = self.base.sc_pairs_batch(us[rest], vs[rest])
+            out[rest] = self.base._pairwise_sc_raw(us[rest], vs[rest])
         return out
 
     def component_node(self, vertex: int, k: int) -> int:

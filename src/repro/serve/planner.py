@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.errors import EmptyQueryError
+from repro.errors import EmptyQueryError, InternalInvariantError
 from repro.serve.snapshot import IndexSnapshot
 
 __all__ = ["BatchPlan", "plan_batch", "execute_batch"]
@@ -84,28 +84,56 @@ def plan_batch(queries: Sequence[Sequence[int]]) -> BatchPlan:
 def execute_batch(snapshot: IndexSnapshot, plan: BatchPlan) -> List[int]:
     """Evaluate a plan against one snapshot; answers align with the batch.
 
-    Disconnected queries (and isolated singletons) answer 0.
+    Disconnected queries (and isolated singletons) answer 0.  The whole
+    plan runs through the MST* batch kernels: one
+    :meth:`~repro.index.mst_star.MSTStar.sc_pairs_batch` gather for the
+    deduplicated probes, one
+    :meth:`~repro.index.mst_star.MSTStar.steiner_connectivity_batch`
+    call for the singletons (which also raises
+    :class:`~repro.errors.VertexNotFoundError` for unknown vertices,
+    matching the per-query path), and a segmented ``minimum.reduceat``
+    fold instead of a per-query Python ``min``.
     """
-    probe_value: Dict[Probe, int] = {}
-    if plan.probes:
-        us = [p[0] for p in plan.probes]
-        vs = [p[1] for p in plan.probes]
-        values = snapshot.sc_pairs_batch(us, vs)
-        probe_value = dict(zip(plan.probes, values))
-    singleton_value: Dict[int, int] = {}
+    import numpy as np
+
     star = snapshot.star
-    for v in plan.singletons:
-        if not (0 <= v < star.num_leaves):
-            # Match the per-query path: unknown vertices are an error.
-            snapshot.steiner_connectivity([v])
-        parent = star.parents[v]
-        singleton_value[v] = star.weights[parent] if parent >= 0 else 0
-    answers: List[int] = []
-    for cq in plan.queries:
+    values = None
+    if plan.probes:
+        values = star.sc_pairs_batch(
+            [p[0] for p in plan.probes], [p[1] for p in plan.probes]
+        )
+    singleton_value: Dict[int, int] = {}
+    if plan.singletons:
+        singleton_value = dict(
+            zip(
+                plan.singletons,
+                snapshot.steiner_connectivity_batch(
+                    [(v,) for v in plan.singletons]
+                ),
+            )
+        )
+    probe_index: Dict[Probe, int] = {p: i for i, p in enumerate(plan.probes)}
+    answers: List[int] = [0] * len(plan.queries)
+    flat: List[int] = []
+    starts: List[int] = []
+    multi_at: List[int] = []
+    for i, cq in enumerate(plan.queries):
         if len(cq) == 1:
-            answers.append(singleton_value[cq[0]])
+            answers[i] = singleton_value[cq[0]]
             continue
+        multi_at.append(i)
+        starts.append(len(flat))
         v0 = cq[0]
-        best = min(probe_value[(v0, v)] for v in cq[1:])
-        answers.append(best)
+        flat.extend(probe_index[(v0, v)] for v in cq[1:])
+    if multi_at:
+        if values is None:  # plan invariant: probes back multi queries
+            raise InternalInvariantError(
+                "batch plan has multi-vertex queries but no probes"
+            )
+        mins = np.minimum.reduceat(
+            values[np.asarray(flat, dtype=np.int64)],
+            np.asarray(starts, dtype=np.int64),
+        )
+        for i, best in zip(multi_at, mins.tolist()):
+            answers[i] = best
     return answers

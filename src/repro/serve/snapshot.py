@@ -17,10 +17,12 @@ Thread-safety contract:
   ``sc_pairs_batch``, ``smcc``, ``smcc_interval``) touches only arrays
   that are frozen at capture time, so any number of threads may call
   them concurrently with no locking;
-- the MST-walk queries (``smcc_l``) reuse the epoch-marking scratch
-  arrays of :class:`~repro.index.mst.MSTIndex` and are serialized by a
-  per-snapshot lock (they are the rare path; the hot paths stay
-  lock-free).
+- the MST-walk queries (``smcc_l`` on delta snapshots, and
+  ``components_at``) reuse the epoch-marking scratch arrays of
+  :class:`~repro.index.mst.MSTIndex` and are serialized by a
+  per-snapshot lock (they are the rare path; the hot paths — including
+  ``smcc_l`` on full-capture stars, which goes through the MST*
+  interval climb — stay lock-free).
 """
 
 from __future__ import annotations
@@ -94,6 +96,14 @@ class IndexSnapshot:  # deep-frozen
         """Vectorized pairwise sc; cross-component pairs yield 0."""
         return self.star.sc_pairs_batch(us, vs).tolist()
 
+    def steiner_connectivity_batch(self, queries: Sequence[Sequence[int]]) -> List[int]:
+        """Vectorized ``sc`` over a whole query batch (lock-free).
+
+        One RMQ gather pass for the entire batch; disconnected queries
+        and isolated singletons answer 0 (the batch convention).
+        """
+        return self.star.steiner_connectivity_batch(queries).tolist()
+
     def smcc(self, q: Sequence[int]) -> SMCCResult:
         """The SMCC of ``q`` at this generation, via the interval view.
 
@@ -112,7 +122,17 @@ class IndexSnapshot:  # deep-frozen
     # Serialized queries (MST-walk-backed; epoch scratch arrays)
     # ------------------------------------------------------------------
     def smcc_l(self, q: Sequence[int], size_bound: int) -> SMCCResult:
-        """The SMCC_L of ``q`` at this generation (Algorithm 5)."""
+        """The SMCC_L of ``q`` at this generation.
+
+        Full-capture stars answer via the lock-free O(|q| + log |V|)
+        interval climb (:meth:`MSTStar.smcc_l_interval`); delta-snapshot
+        stars have no global interval view, so they take the Algorithm 5
+        walk under the MST lock (shared epoch scratch).
+        """
+        star = self.star
+        if star.has_interval_smcc_l:
+            k, start, end = star.smcc_l_interval(q, size_bound)
+            return SMCCResult(star.leaf_order[start:end], k)
         with self._mst_lock:
             vertices, k = self._mst.smcc_l(q, size_bound)
         return SMCCResult(vertices, k)
@@ -149,8 +169,9 @@ def capture_snapshot(
 
     - the MST clone's rooted arrays and sorted adjacency
       (:meth:`MSTIndex._ensure_derived`),
-    - the MST* tree plus its Euler-tour LCA tables,
-    - the numpy gather arrays behind ``sc_pairs_batch``.
+    - the MST* tree plus its Euler-tour LCA tables and the int64
+      gather arrays behind the batched kernels (both eager since the
+      MST* builds them at construction).
 
     Under ``REPRO_FREEZE=1`` (:mod:`repro.analysis.freeze`) the captured
     object graph is additionally deep-frozen at publish time: ndarrays
@@ -166,7 +187,6 @@ def capture_snapshot(
     frozen._ensure_derived()
     if star is None:
         star = build_mst_star(frozen)
-    star._batch_arrays()
     edges = tuple(sorted(conn_graph.graph.edges()))
     snapshot = IndexSnapshot(
         generation=generation,
