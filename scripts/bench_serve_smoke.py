@@ -10,6 +10,13 @@ artifact, and asserts
 - both configurations actually answered their whole workload and ended
   at staleness 0 (all updates published).
 
+It then sweeps the sharded multi-process tier over the worker counts in
+``repro.bench.serve_bench.SHARD_WORKERS`` and asserts the scaling curve:
+error-free, crash-free, every point answered its whole stream, and — on
+runners with at least two CPUs — the 2-worker point is at least 1.5x the
+single-worker throughput.  On single-CPU boxes the ratio is recorded in
+the artifact but only reported, since the hardware cannot scale.
+
 Throughput numbers (and the cached-vs-uncached speedup) are reported
 but not gated — wall-clock on shared CI boxes is advisory.
 
@@ -52,6 +59,7 @@ def main(argv=None) -> int:
     cached = result["cached"]
     uncached = result["uncached"]
     publish = result["publish"]
+    shard = result["shard"]
     print(f"workload: ssca n={workload['n']} m={workload['m']} "
           f"readers={workload['readers']} "
           f"queries/reader={workload['queries_per_reader']}")
@@ -68,6 +76,17 @@ def main(argv=None) -> int:
           f"({publish['delta_vs_full_speedup']:.1f}x, "
           f"shared={publish['delta']['mean_shared_fraction']:.2f}, "
           f"modes={publish['delta']['modes']})")
+    for point in shard["points"].values():
+        print(f"shard    workers={point['workers']} "
+              f"{point['throughput_qps']:.0f} qps "
+              f"({point['queries_answered']} answered, "
+              f"{point['query_errors']} errors, "
+              f"{point['restarts']} restarts, "
+              f"per-worker={point['per_worker_answered']})")
+    print(f"shard    scaling {shard['scaling_ratio']:.2f}x at "
+          f"{max(p['workers'] for p in shard['points'].values())} workers "
+          f"(cpu_count={shard['cpu_count']}"
+          f"{'' if shard['cpu_count'] >= 2 else ', advisory on 1 cpu'})")
     print(f"baseline written to {args.output}")
 
     ok = True
@@ -97,6 +116,33 @@ def main(argv=None) -> int:
         print("FAIL: delta publish p50 "
               f"({publish['delta_p50_seconds']:.4f}s) is not below the "
               f"full-capture p50 ({publish['full_p50_seconds']:.4f}s)",
+              file=sys.stderr)
+        ok = False
+    shard_expected = (shard["workload"]["clients"]
+                      * shard["workload"]["queries_per_client"])
+    for name, point in sorted(shard["points"].items()):
+        if point["query_errors"] != 0:
+            print(f"FAIL: shard point {name} hit "
+                  f"{point['query_errors']} query errors (want 0)",
+                  file=sys.stderr)
+            ok = False
+        if point["restarts"] != 0:
+            print(f"FAIL: shard point {name} restarted workers "
+                  f"{point['restarts']} times under a crash-free workload",
+                  file=sys.stderr)
+            ok = False
+        if point["queries_answered"] < shard_expected:
+            print(f"FAIL: shard point {name} answered "
+                  f"{point['queries_answered']} of {shard_expected}",
+                  file=sys.stderr)
+            ok = False
+    # Scaling is a hardware property: gate only where two workers can
+    # actually run in parallel.  Single-CPU boxes record the ratio in
+    # the artifact (the drift checker applies the same cpu_count key).
+    if shard["cpu_count"] >= 2 and shard["scaling_ratio"] < 1.5:
+        print(f"FAIL: shard tier scaled {shard['scaling_ratio']:.2f}x "
+              f"at 2 workers on a {shard['cpu_count']}-cpu runner "
+              "(need >= 1.5x)",
               file=sys.stderr)
         ok = False
     return 0 if ok else 1

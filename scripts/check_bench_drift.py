@@ -13,7 +13,9 @@ Two layers of checks:
   kind, the workload spec (same generator/size/seed — a drifted
   workload makes the timing comparison meaningless), and the
   correctness outcomes (``identical_weights`` for the build bench,
-  ``query_errors == 0`` for the serve bench);
+  ``query_errors == 0`` for the serve bench — including the sharded
+  scaling points, whose 2-worker speedup is additionally gated at
+  >= 1.5x whenever the candidate artifact records >= 2 CPUs);
 - **performance** is compared as a ratio and enforced only within
   ``--tolerance``: the candidate may be up to ``(1 - tolerance)``
   slower than the baseline before the script fails.  Timing on shared
@@ -48,6 +50,8 @@ PERF_METRICS = {
         (("cached_speedup",), True),
         (("publish", "delta_p50_seconds"), False),
         (("publish", "full_p50_seconds"), False),
+        (("shard", "points", "workers_1", "throughput_qps"), True),
+        (("shard", "points", "workers_2", "throughput_qps"), True),
     ],
     "query": [
         (("families", "sc_pairs", "speedup"), True),
@@ -118,6 +122,7 @@ def _invariant_failures(kind: str, baseline, candidate) -> List[str]:
                 f"({delta_p50!r}s) is not below the full-capture p50 "
                 f"({full_p50!r}s) on the small-region workload"
             )
+        failures += _shard_invariant_failures(baseline, candidate)
     elif kind == "query":
         if candidate.get("identical_answers") is not True:
             failures.append(
@@ -139,6 +144,53 @@ def _invariant_failures(kind: str, baseline, candidate) -> List[str]:
                     f"gated family {family}: p50 speedup {speedup!r} is "
                     f"below the required {QUERY_MIN_GATED_SPEEDUP:.1f}x"
                 )
+    return failures
+
+
+#: required 2-worker/1-worker throughput ratio on multi-CPU runners
+#: (matches scripts/bench_serve_smoke.py)
+SHARD_MIN_SCALING = 1.5
+
+
+def _shard_invariant_failures(baseline, candidate) -> List[str]:
+    """Invariants of the sharded-tier scaling phase of the serve bench.
+
+    The scaling ratio itself is gated only when the *candidate* run
+    recorded >= 2 CPUs — a single-CPU runner cannot parallelize two
+    worker processes, so there the ratio is informational and the
+    per-point correctness bits (no query errors, no worker restarts)
+    carry the gate alone.
+    """
+    failures: List[str] = []
+    shard = candidate.get("shard")
+    if not isinstance(shard, dict):
+        return ["shard: candidate artifact has no shard scaling phase"]
+    base_workload = _get(baseline, ("shard", "workload"))
+    if base_workload is not None and base_workload != shard.get("workload"):
+        failures.append(
+            f"shard workload drifted: {base_workload!r} -> "
+            f"{shard.get('workload')!r}"
+        )
+    for name, point in sorted((shard.get("points") or {}).items()):
+        if point.get("query_errors") != 0:
+            failures.append(
+                f"shard point {name}: "
+                f"{point.get('query_errors')!r} query errors (want 0)"
+            )
+        if point.get("restarts") != 0:
+            failures.append(
+                f"shard point {name}: {point.get('restarts')!r} worker "
+                "restarts under a crash-free workload (want 0)"
+            )
+    cpu_count = shard.get("cpu_count")
+    ratio = shard.get("scaling_ratio")
+    if isinstance(cpu_count, int) and cpu_count >= 2:
+        if not isinstance(ratio, (int, float)) or ratio < SHARD_MIN_SCALING:
+            failures.append(
+                f"shard scaling: {ratio!r}x at 2 workers on a "
+                f"{cpu_count}-cpu runner (need >= "
+                f"{SHARD_MIN_SCALING:.1f}x)"
+            )
     return failures
 
 

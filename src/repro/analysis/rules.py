@@ -558,15 +558,23 @@ class MultiprocessingOutsideParallelRule(Rule):
     id = "multiprocessing-outside-parallel"
     description = (
         "multiprocessing / concurrent.futures imported outside "
-        "repro.parallel; pool lifecycle and the jobs=1 serial guarantee "
-        "live there — use repro.parallel.PieceExecutor"
+        "repro.parallel or repro.serve; pool lifecycle and the jobs=1 "
+        "serial guarantee live in parallel, the sharded worker tier in "
+        "serve — use repro.parallel.PieceExecutor or "
+        "repro.serve.ShardGateway"
     )
 
     _FORBIDDEN_ROOTS = frozenset({"multiprocessing", "concurrent"})
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        # repro.parallel is the one sanctioned home of process pools.
-        return "parallel" not in ctx.package_parts
+        # repro.parallel is the sanctioned home of compute process
+        # pools; repro.serve additionally hosts the sharded serving
+        # tier (shard.py), whose worker processes and shared-memory
+        # segments are its whole point.
+        return (
+            "parallel" not in ctx.package_parts
+            and "serve" not in ctx.package_parts
+        )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

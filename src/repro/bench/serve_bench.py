@@ -20,6 +20,7 @@ asserts against.
 from __future__ import annotations
 
 import json
+import os
 import random
 from statistics import median
 from typing import Any, Dict, List, Optional, Tuple
@@ -34,7 +35,9 @@ from repro.serve import (
     ServeConfig,
     ServeWorkloadSpec,
     ServingIndex,
+    ShardWorkloadSpec,
     run_serve_workload,
+    run_shard_workload,
 )
 
 #: default output artifact name (uploaded by the CI serve job)
@@ -181,6 +184,102 @@ def run_publish_bench(graph: Graph, seed: int) -> Dict[str, Any]:
     }
 
 
+#: sharded scaling phase: worker counts swept over one seeded workload
+SHARD_WORKERS = (1, 2)
+#: disjoint communities in the shard workload graph — component-affine
+#: routing can only spread load across workers when the graph has more
+#: than one MST component, so the scaling graph is a union of islands
+SHARD_ISLANDS = 4
+SHARD_CLIENTS = 4
+SHARD_QUERIES_PER_CLIENT = 400
+SHARD_BATCH_SIZE = 16
+SHARD_UPDATES = 8
+SHARD_PUBLISH_EVERY = 4
+
+
+def _island_graph(n: int, seed: int) -> Graph:
+    """A union of :data:`SHARD_ISLANDS` disjoint SSCA communities.
+
+    Each island keeps its own vertex range, so the MST forest has (at
+    least) one component per island and ``shard_of`` distributes the
+    query stream across every worker instead of pinning it to shard 0.
+    """
+    per = max(30, n // SHARD_ISLANDS)
+    islands = [ssca_graph(per, seed=seed + i) for i in range(SHARD_ISLANDS)]
+    graph = Graph(sum(g.num_vertices for g in islands))
+    offset = 0
+    for island in islands:
+        for u, v in island.edges():
+            graph.add_edge(u + offset, v + offset)
+        offset += island.num_vertices
+    return graph
+
+
+def run_shard_bench(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Sharded-tier scaling curve: the same workload at 1 and 2 workers.
+
+    Every point replays the identical seeded client streams (all-batch
+    ops, so cross-island queries take the 0-convention instead of
+    erroring) against a fresh :class:`ServingIndex` over the same
+    island graph; only ``workers`` varies.  ``scaling_ratio`` is the
+    top worker count's throughput over the single-worker baseline, and
+    ``cpu_count`` is recorded so downstream gates
+    (``scripts/bench_serve_smoke.py``, ``scripts/check_bench_drift.py``)
+    can require scaling only where the hardware can deliver it.
+    """
+    graph = _island_graph(n, seed)
+    points: Dict[str, Dict[str, Any]] = {}
+    for workers in SHARD_WORKERS:
+        serving = ServingIndex.build(
+            graph.copy(), config=ServeConfig(region_fraction_limit=1.0)
+        )
+        spec = ShardWorkloadSpec(
+            workers=workers,
+            clients=SHARD_CLIENTS,
+            queries_per_client=SHARD_QUERIES_PER_CLIENT,
+            query_size=3,
+            smcc_fraction=0.0,
+            batch_size=SHARD_BATCH_SIZE,
+            updates=SHARD_UPDATES,
+            publish_every=SHARD_PUBLISH_EVERY,
+            seed=seed,
+        )
+        record = run_shard_workload(serving, spec)
+        stats = record["shard_stats"]
+        points[f"workers_{workers}"] = {
+            "workers": workers,
+            "throughput_qps": record["throughput_qps"],
+            "elapsed_seconds": record["elapsed_seconds"],
+            "queries_answered": record["queries_answered"],
+            "query_errors": record["query_errors"],
+            "publishes": record["publishes"],
+            "final_generation": record["final_generation"],
+            "restarts": stats["restarts"],
+            "per_worker_answered": [
+                w["answered"] for w in stats["per_worker"]
+            ],
+        }
+    base = points[f"workers_{SHARD_WORKERS[0]}"]["throughput_qps"] or 0.0
+    top = points[f"workers_{SHARD_WORKERS[-1]}"]["throughput_qps"] or 0.0
+    return {
+        "workload": {
+            "generator": "ssca-islands",
+            "islands": SHARD_ISLANDS,
+            "n": graph.num_vertices,
+            "m": graph.num_edges,
+            "seed": seed,
+            "clients": SHARD_CLIENTS,
+            "queries_per_client": SHARD_QUERIES_PER_CLIENT,
+            "batch_size": SHARD_BATCH_SIZE,
+            "updates": SHARD_UPDATES,
+            "publish_every": SHARD_PUBLISH_EVERY,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "points": points,
+        "scaling_ratio": (top / base) if base else 0.0,
+    }
+
+
 def run_serve_bench(
     n: int = DEFAULT_N,
     seed: int = DEFAULT_SEED,
@@ -229,6 +328,7 @@ def run_serve_bench(
         "cached": cached,
         "cached_speedup": (cached_qps / uncached_qps) if uncached_qps else 0.0,
         "publish": run_publish_bench(graph, seed),
+        "shard": run_shard_bench(n, seed),
         "verified_against_rebuild": _verify_against_rebuild(
             cached_serving, seed
         ),
@@ -260,7 +360,7 @@ def serve_bench(profile: str = "quick") -> Table:
         "Serve bench: threaded query throughput (queries/second)",
         ["Workload", "readers", "uncached qps", "cached qps",
          "speedup", "delta publish p50 s", "full publish p50 s",
-         "verified"],
+         "shard 2w scaling", "verified"],
     )
     workload = result["workload"]
     table.add_row(
@@ -271,6 +371,7 @@ def serve_bench(profile: str = "quick") -> Table:
         result["cached_speedup"],
         result["publish"]["delta_p50_seconds"],
         result["publish"]["full_p50_seconds"],
+        result["shard"]["scaling_ratio"],
         result["verified_against_rebuild"],
     )
     return table

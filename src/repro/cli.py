@@ -9,7 +9,8 @@ query     run smcc / sc / smcc-l queries against a saved index
 update    apply edge insertions/deletions to a saved index
 verify    integrity-check a saved index (fsck)
 obs       run a workload with observability on; dump the metrics registry
-serve     run a threaded serving workload (readers vs writer) on an index
+serve     run a serving workload (readers vs writer) on an index;
+          --workers N shards it over N worker processes
 bench     run the paper-evaluation harness experiments
 
 Examples
@@ -22,6 +23,7 @@ Examples
     python -m repro update index_dir --insert 5 99 --delete 1 2
     python -m repro obs index_dir --queries 100 --format prometheus
     python -m repro serve index_dir --readers 4 --queries 500 --obs
+    python -m repro serve index_dir --workers 2 --readers 4 --obs
     python -m repro bench table3 figure5
 """
 
@@ -250,8 +252,19 @@ def _cmd_obs(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Run a threaded serving workload against an index; emit one JSON doc."""
-    from repro.serve import ServeConfig, ServeWorkloadSpec, ServingIndex, run_serve_workload
+    """Run a serving workload against an index; emit one JSON doc.
+
+    ``--workers N`` (N > 0) routes the workload through the sharded
+    multi-process tier instead of the threaded single-process one.
+    """
+    from repro.serve import (
+        ServeConfig,
+        ServeWorkloadSpec,
+        ServingIndex,
+        ShardWorkloadSpec,
+        run_serve_workload,
+        run_shard_workload,
+    )
 
     previous = obs_runtime.REGISTRY
     registry = obs_runtime.enable() if args.obs else obs_runtime.REGISTRY
@@ -265,18 +278,35 @@ def _cmd_serve(args) -> int:
             delta_publish=args.delta,
         )
         serving = ServingIndex(index, config=config)
-        spec = ServeWorkloadSpec(
-            readers=args.readers,
-            queries_per_reader=args.queries,
-            query_size=args.query_size,
-            smcc_fraction=args.smcc_fraction,
-            batch_size=args.batch_size,
-            query_pool=args.query_pool,
-            updates=args.updates,
-            publish_every=args.publish_every,
-            seed=args.seed,
-        )
-        result = run_serve_workload(serving, spec)
+        if args.workers > 0:
+            shard_spec = ShardWorkloadSpec(
+                workers=args.workers,
+                clients=args.readers,
+                queries_per_client=args.queries,
+                query_size=args.query_size,
+                smcc_fraction=args.smcc_fraction,
+                batch_size=args.batch_size,
+                query_pool=args.query_pool,
+                updates=args.updates,
+                publish_every=args.publish_every,
+                seed=args.seed,
+                timeout=args.timeout,
+                max_staleness=args.max_staleness,
+            )
+            result = run_shard_workload(serving, shard_spec)
+        else:
+            spec = ServeWorkloadSpec(
+                readers=args.readers,
+                queries_per_reader=args.queries,
+                query_size=args.query_size,
+                smcc_fraction=args.smcc_fraction,
+                batch_size=args.batch_size,
+                query_pool=args.query_pool,
+                updates=args.updates,
+                publish_every=args.publish_every,
+                seed=args.seed,
+            )
+            result = run_serve_workload(serving, spec)
         if args.obs and registry is not None:
             snapshot = registry.snapshot()
             result["metrics"] = {
@@ -384,7 +414,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "serve",
-        help="run a threaded serving workload (readers vs writer) on an index",
+        help="run a serving workload (readers vs writer) on an index; "
+             "--workers N shards it over N worker processes",
     )
     p.add_argument("index", help="index directory from `build`")
     p.add_argument("--readers", type=int, default=4,
@@ -418,6 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--obs", action="store_true",
                    help="include the serve.* metrics in the JSON output")
+    p.add_argument("--workers", type=int, default=0,
+                   help=">0 serves through the sharded multi-process tier "
+                        "(this many worker processes mapping shared-memory "
+                        "snapshots); --readers then counts async clients")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench", help="run paper-evaluation experiments")

@@ -82,8 +82,33 @@ class IndexPersistenceError(ReproError):
         self.detail = detail
 
 
+class ManifestError(IndexPersistenceError):
+    """Raised when a shared-memory snapshot manifest cannot be decoded.
+
+    The sharded serving tier (:mod:`repro.serve.shard`) publishes one
+    manifest per snapshot generation into a shared-memory segment; a
+    truncated, garbled, or structurally invalid manifest surfaces as
+    this typed error — never as a segfault, a hang, or a raw
+    ``json`` / ``struct`` exception leaking out of the worker.
+    """
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+
+class WorkerCrashError(ServeError):
+    """Raised when a shard worker process dies mid-request.
+
+    The gateway catches this, respawns the worker, and retries the
+    request on a sibling; callers only ever see it when every worker
+    in the pool failed the same request.
+    """
+
+    def __init__(self, worker_id: int, detail: str) -> None:
+        super().__init__(f"shard worker {worker_id} crashed: {detail}")
+        self.worker_id = worker_id
+        self.detail = detail
 
 
 class DeadlineExceededError(ServeError):

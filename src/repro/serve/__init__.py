@@ -19,7 +19,12 @@ The serving layer turns the single-threaded, mutable
   per-query deadlines and staleness-triggered degradation to the
   direct online engine;
 - :func:`run_serve_workload` — the threaded workload driver behind
-  ``repro serve --workload`` and ``BENCH_serve.json``.
+  ``repro serve --workload`` and ``BENCH_serve.json``;
+- :class:`SharedSnapshotStore` / :class:`WorkerPool` /
+  :class:`ShardGateway` / :func:`run_shard_workload` — the sharded
+  multi-process tier: snapshot generations published once into
+  ``multiprocessing.shared_memory``, mapped zero-copy by N worker
+  processes behind an asyncio gateway (``repro serve --workers N``).
 
 See ``docs/SERVING.md`` for the consistency model and the ``serve.*``
 metrics table.
@@ -42,13 +47,22 @@ from repro.serve.delta import (
 from repro.serve.planner import BatchPlan, execute_batch, plan_batch
 from repro.serve.publisher import SnapshotPublisher
 from repro.serve.reports import PublishReport, UpdateReport
-from repro.serve.serving import ServeConfig, ServingIndex
+from repro.serve.serving import Deadline, ServeConfig, ServingIndex
+from repro.serve.shard import (
+    ShardGateway,
+    ShardWorkloadSpec,
+    SharedSnapshotStore,
+    SharedSnapshotView,
+    WorkerPool,
+    run_shard_workload,
+)
 from repro.serve.snapshot import IndexSnapshot, capture_snapshot
 from repro.serve.workload import ServeWorkloadSpec, run_serve_workload
 
 __all__ = [
     "BatchPlan",
     "CacheEntry",
+    "Deadline",
     "DeltaStar",
     "IndexSnapshot",
     "PublishReport",
@@ -56,8 +70,13 @@ __all__ = [
     "ServeConfig",
     "ServeWorkloadSpec",
     "ServingIndex",
+    "ShardGateway",
+    "ShardWorkloadSpec",
+    "SharedSnapshotStore",
+    "SharedSnapshotView",
     "SnapshotPublisher",
     "UpdateReport",
+    "WorkerPool",
     "canonical_query",
     "capture_delta_snapshot",
     "capture_snapshot",
@@ -65,5 +84,6 @@ __all__ = [
     "named_buffers",
     "plan_batch",
     "run_serve_workload",
+    "run_shard_workload",
     "shared_fraction",
 ]

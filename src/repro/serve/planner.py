@@ -27,6 +27,14 @@ __all__ = ["BatchPlan", "plan_batch", "execute_batch"]
 
 Probe = Tuple[int, int]
 
+#: Anything exposing the snapshot batch-query surface: an
+#: :class:`IndexSnapshot`, or a worker-side
+#: :class:`~repro.serve.shard.SharedSnapshotView` mapping the same
+#: buffers out of shared memory.  Requirements: a ``star`` with
+#: ``sc_pairs_batch`` returning an int64 ndarray, and a
+#: ``steiner_connectivity_batch`` method returning a list.
+SnapshotLike = IndexSnapshot
+
 
 class BatchPlan:
     """The deduplicated probe schedule for one batch of sc queries."""
@@ -81,7 +89,7 @@ def plan_batch(queries: Sequence[Sequence[int]]) -> BatchPlan:
     )
 
 
-def execute_batch(snapshot: IndexSnapshot, plan: BatchPlan) -> List[int]:
+def execute_batch(snapshot: "SnapshotLike", plan: BatchPlan) -> List[int]:
     """Evaluate a plan against one snapshot; answers align with the batch.
 
     Disconnected queries (and isolated singletons) answer 0.  The whole

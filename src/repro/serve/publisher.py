@@ -35,7 +35,7 @@ online computation against the live graph (see
 from __future__ import annotations
 
 from bisect import bisect_left, insort
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.tsan import AnyRLock, monitored, new_rlock
 from repro.core.queries import SMCCIndex
@@ -96,6 +96,11 @@ class SnapshotPublisher:
         self._base_snapshot = self._snapshot  # guarded-by: _lock
         #: advisory flag; lock-free readers only ever observe it
         self._publishing = False  # guarded-by: _lock [writes]
+        #: optional hook exporting each published generation to an
+        #: out-of-process transport (the shared-memory shard store);
+        #: invoked under the lock so export order == publication order
+        # guarded-by: _lock
+        self._exporter: Optional[Callable[[IndexSnapshot], object]] = None
 
     # ------------------------------------------------------------------
     # Reader side
@@ -237,6 +242,22 @@ class SnapshotPublisher:
         with self._lock:
             self._affected = None
 
+    def set_exporter(
+        self, exporter: Optional[Callable[[IndexSnapshot], object]]
+    ) -> None:
+        """Install (or clear, with None) the publish export hook.
+
+        The hook runs inside the publisher lock immediately after the
+        atomic snapshot swap of every non-noop :meth:`publish`, so
+        exported generations observe exactly the in-process publication
+        order.  The shard gateway uses this to push each generation
+        into its :class:`~repro.serve.shard.SharedSnapshotStore`; the
+        installer is responsible for exporting the *current* snapshot
+        itself (the hook only sees future publishes).
+        """
+        with self._lock:
+            self._exporter = exporter
+
     def publish(self) -> PublishReport:
         """Capture + atomically publish a new snapshot generation.
 
@@ -303,6 +324,10 @@ class SnapshotPublisher:
                 self._affected = set()
                 # The atomic store: readers see old or new, never a mix.
                 self._snapshot = snapshot
+                if self._exporter is not None:
+                    # Still under the lock: export order must match
+                    # publication order for out-of-process readers.
+                    self._exporter(snapshot)
             finally:
                 self._publishing = False
         fraction = shared_fraction(previous, snapshot)

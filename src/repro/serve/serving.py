@@ -42,7 +42,7 @@ from repro.serve.publisher import SnapshotPublisher
 from repro.serve.reports import PublishReport, UpdateReport
 from repro.serve.snapshot import IndexSnapshot
 
-__all__ = ["ServeConfig", "ServingIndex"]
+__all__ = ["Deadline", "ServeConfig", "ServingIndex"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +97,22 @@ class _Deadline:
             if registry is not None:
                 registry.counter("serve.deadline_exceeded").inc()
             raise DeadlineExceededError(self.timeout, elapsed - self.timeout)
+
+    def remaining(self) -> Optional[float]:
+        """Unspent budget in seconds (None = no deadline, floor 0).
+
+        This is what crosses a process hop: the shard gateway arms a
+        deadline at admission and forwards ``remaining()`` so the worker
+        re-arms it with only the *unspent* budget.
+        """
+        if self.timeout is None:
+            return None
+        return max(0.0, self.timeout - (monotonic() - self.started))
+
+
+#: Public alias: the shard worker tier re-arms deadlines from the
+#: remaining budget forwarded across the process hop.
+Deadline = _Deadline
 
 
 @monitored

@@ -25,7 +25,7 @@ from repro.errors import QueryError
 from repro.obs.timing import Stopwatch
 from repro.serve.serving import ServingIndex
 
-__all__ = ["ServeWorkloadSpec", "run_serve_workload"]
+__all__ = ["ServeWorkloadSpec", "reader_queries", "run_serve_workload"]
 
 
 @dataclass(frozen=True)
@@ -52,10 +52,16 @@ class ServeWorkloadSpec:
     max_staleness: Optional[int] = None
 
 
-def _reader_queries(
+def reader_queries(
     spec: ServeWorkloadSpec, reader_id: int, num_vertices: int
 ) -> List[Tuple[str, List[List[int]]]]:
-    """The deterministic operation stream of one reader thread."""
+    """The deterministic operation stream of one reader.
+
+    Public so the sharded workload driver
+    (:func:`repro.serve.shard.run_shard_workload`) replays the exact
+    streams a threaded run would issue — single-process and sharded
+    throughput numbers then compare like for like.
+    """
     rng = random.Random(spec.seed * 1_000_003 + reader_id)
     size = min(spec.query_size, num_vertices)
     pool: Optional[List[List[int]]] = None
@@ -179,7 +185,7 @@ def run_serve_workload(
     if num_vertices < 2:
         raise ValueError("serve workload needs a graph with >= 2 vertices")
     reader_ops = [
-        _reader_queries(spec, i, num_vertices) for i in range(spec.readers)
+        reader_queries(spec, i, num_vertices) for i in range(spec.readers)
     ]
     counts: Dict[str, int] = {
         "answered": 0,

@@ -296,8 +296,10 @@ class TestRuleDetails:
             "import multiprocessing\n"
             "from concurrent.futures import ProcessPoolExecutor\n"
         )
-        # repro.parallel is the sanctioned home of process pools ...
+        # repro.parallel is the sanctioned home of process pools, and
+        # repro.serve hosts the sharded worker tier ...
         assert lint_source(source, path="parallel/executor.py") == []
+        assert lint_source(source, path="serve/shard.py") == []
         # ... everywhere else both import forms are rejected.
         findings = lint_source(source, path="index/snippet.py")
         assert [f.rule for f in findings] == [

@@ -145,6 +145,65 @@ class TestCrossEngineSnapshots:
             ]
             assert components[0] == components[1] == components[2], q
 
+    @pytest.mark.parametrize("seed", range(2))
+    def test_shm_views_answer_identically_across_engines(self, seed):
+        """Exported views of every engine's snapshot agree byte-for-byte.
+
+        Each engine's snapshot round-trips through a shared-memory
+        store; the mapped views must agree with each other *and* with
+        the in-process snapshots on sc, batch sc, and smcc — the same
+        function-of-the-graph argument, now across a serialization
+        boundary.
+        """
+        from conftest import random_connected_graph
+        from repro.core.queries import SMCCIndex
+        from repro.serve import (
+            SharedSnapshotStore,
+            SharedSnapshotView,
+            capture_snapshot,
+        )
+        from repro.serve.shard import system_segments
+
+        graph = random_connected_graph(seed * 41 + 9, min_n=8, max_n=14)
+        n = graph.num_vertices
+        prefixes = []
+        snaps, views, stores = [], [], []
+        try:
+            for engine in ("exact", "cut", "random"):
+                kwargs = {"seed": seed} if engine == "random" else {}
+                index = SMCCIndex.build(graph, engine=engine, **kwargs)
+                snap = capture_snapshot(index.conn_graph, index.mst, 0)
+                store = SharedSnapshotStore()
+                store.publish_snapshot(snap)
+                snaps.append(snap)
+                stores.append(store)
+                prefixes.append(store.prefix)
+                views.append(SharedSnapshotView.attach(store.prefix, 0))
+            rng = random.Random(seed)
+            queries = [
+                rng.sample(range(n), rng.randint(2, min(4, n)))
+                for _ in range(30)
+            ]
+            for q in queries:
+                answers = {v.sc(q) for v in views}
+                assert len(answers) == 1, q
+                assert answers == {snaps[0].steiner_connectivity(q)}, q
+                components = {
+                    (k, tuple(sorted(vs)))
+                    for vs, k in (v.smcc(q) for v in views)
+                }
+                assert len(components) == 1, q
+            batches = [v.steiner_connectivity_batch(queries) for v in views]
+            assert batches[0] == batches[1] == batches[2]
+            assert batches[0] == snaps[0].steiner_connectivity_batch(queries)
+        finally:
+            for view in views:
+                view.close()
+            for store in stores:
+                store.close()
+        for prefix in prefixes:
+            assert system_segments(prefix) == []
+
 
 class TestServeTraceConsistency:
     """Cached, uncached, and batched serving agree over a 1k-query trace.

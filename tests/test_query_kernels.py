@@ -293,3 +293,154 @@ class TestBatchPlannerIntegration:
         ] + [[n - 1]]  # isolated singleton -> 0 under the batch convention
         answers = execute_batch(snap, plan_batch(queries))
         assert answers == snap.steiner_connectivity_batch(queries)
+
+
+class TestSharedMemoryViewDifferential:
+    """The shm-mapped view answers byte-identically to the snapshot.
+
+    Same corpus discipline as the batch kernels: every engine, full and
+    delta generations, all four served families, cross-component
+    queries, and exception parity (the view must raise the same typed
+    error the in-process snapshot raises).  Runs under ``REPRO_FREEZE=1``
+    in the CI shard job, so the export path must also read deep-frozen
+    writer-side buffers.
+    """
+
+    @staticmethod
+    def _assert_view_matches(view, snap, n, seed):
+        rng = random.Random(seed)
+        queries = [
+            rng.sample(range(n), rng.randint(1, min(3, n)))
+            for _ in range(40)
+        ]
+        for q in queries:
+            try:
+                a = view.sc(list(q))
+            except Exception as exc:  # noqa: BLE001 - exception parity
+                a = type(exc).__name__
+            try:
+                b = snap.steiner_connectivity(list(q))
+            except Exception as exc:  # noqa: BLE001
+                b = type(exc).__name__
+            assert a == b, (q, a, b)
+        pairs = [
+            (u, v)
+            for u, v in (
+                (rng.randrange(n), rng.randrange(n)) for _ in range(120)
+            )
+            if u != v
+        ]
+        us = [p[0] for p in pairs]
+        vs = [p[1] for p in pairs]
+        assert view.sc_pairs_batch(us, vs) == snap.sc_pairs_batch(us, vs)
+        assert view.steiner_connectivity_batch(queries) == (
+            snap.steiner_connectivity_batch(queries)
+        )
+        from repro.serve.planner import execute_batch, plan_batch
+
+        plan = plan_batch(queries)
+        assert view.sc_batch(queries) == execute_batch(snap, plan)
+        for q in queries[:12]:
+            for call, ref in (
+                (lambda q=q: view.smcc(list(q)),
+                 lambda q=q: snap.smcc(list(q))),
+                (lambda q=q: view.smcc_l(list(q), 3),
+                 lambda q=q: snap.smcc_l(list(q), 3)),
+            ):
+                try:
+                    got = call()
+                except Exception as exc:  # noqa: BLE001
+                    got = type(exc).__name__
+                try:
+                    result = ref()
+                    expected = (list(result.vertices), result.connectivity)
+                except Exception as exc:  # noqa: BLE001
+                    expected = type(exc).__name__
+                assert got == expected, (q, got, expected)
+
+    def test_full_generation_matches_snapshot(self, engine_index):
+        from repro.serve import SharedSnapshotStore, SharedSnapshotView
+        from repro.serve.shard import system_segments
+
+        graph, index = engine_index
+        serving = ServingIndex(
+            index, config=ServeConfig(region_fraction_limit=1.0)
+        )
+        snap = serving.snapshot()
+        with SharedSnapshotStore() as store:
+            prefix = store.prefix
+            store.publish_snapshot(snap)
+            view = SharedSnapshotView.attach(prefix, 0)
+            try:
+                assert view.kind == "full"
+                assert tuple(map(tuple, view.edges)) == snap.edges
+                self._assert_view_matches(
+                    view, snap, graph.num_vertices, 23
+                )
+            finally:
+                view.close()
+        assert system_segments(prefix) == []
+
+    def test_delta_generation_matches_snapshot(self, engine_index):
+        from repro.serve import SharedSnapshotStore, SharedSnapshotView
+
+        graph, index = engine_index
+        serving = ServingIndex(
+            index, config=ServeConfig(region_fraction_limit=1.0)
+        )
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            serving.publisher.set_exporter(store.publish_snapshot)
+            # An intra-island chord publishes as a copy-on-write delta.
+            u, v = 0, graph.num_vertices // 4
+            had_edge = graph.has_edge(u, v)
+            if had_edge:
+                serving.apply_updates(deletes=[(u, v)])
+            else:
+                serving.apply_updates(inserts=[(u, v)])
+            try:
+                report = serving.publish()
+                snap = serving.snapshot()
+                view = SharedSnapshotView.attach(
+                    store.prefix, report.generation
+                )
+                try:
+                    assert view.kind == report.mode
+                    self._assert_view_matches(
+                        view, snap, graph.num_vertices, 29
+                    )
+                finally:
+                    view.close()
+            finally:
+                serving.publisher.set_exporter(None)
+                # The engine fixture is module-scoped: undo the churn.
+                if had_edge:
+                    serving.apply_updates(inserts=[(u, v)])
+                else:
+                    serving.apply_updates(deletes=[(u, v)])
+
+    def test_view_matches_under_freezer(self, engine_index):
+        from repro.analysis import freeze
+        from repro.serve import SharedSnapshotStore, SharedSnapshotView
+
+        graph, index = engine_index
+        was_enabled = freeze.enabled()
+        if not was_enabled:
+            freeze.enable()
+        try:
+            serving = ServingIndex(
+                index, config=ServeConfig(region_fraction_limit=1.0)
+            )
+            snap = serving.snapshot()
+            with SharedSnapshotStore() as store:
+                store.publish_snapshot(snap)
+                view = SharedSnapshotView.attach(store.prefix, 0)
+                try:
+                    self._assert_view_matches(
+                        view, snap, graph.num_vertices, 31
+                    )
+                finally:
+                    view.close()
+        finally:
+            if not was_enabled:
+                freeze.disable()

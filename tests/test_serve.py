@@ -27,7 +27,7 @@ from repro.serve import (
     plan_batch,
     run_serve_workload,
 )
-from repro.serve.workload import _reader_queries
+from repro.serve.workload import reader_queries
 
 
 # ----------------------------------------------------------------------
@@ -559,8 +559,8 @@ class TestServeMetrics:
 class TestServeWorkload:
     def test_reader_streams_are_deterministic(self):
         spec = ServeWorkloadSpec(seed=7, queries_per_reader=50)
-        assert _reader_queries(spec, 0, 40) == _reader_queries(spec, 0, 40)
-        assert _reader_queries(spec, 0, 40) != _reader_queries(spec, 1, 40)
+        assert reader_queries(spec, 0, 40) == reader_queries(spec, 0, 40)
+        assert reader_queries(spec, 0, 40) != reader_queries(spec, 1, 40)
 
     def test_workload_runs_and_counts(self):
         serving = ServingIndex.build(random_connected_graph(3, 30, 40))
@@ -595,7 +595,7 @@ class TestServeWorkload:
         assert serving.cache.stats()["hits"] > 0
         # Pooled streams stay per-reader deterministic but differ between
         # readers (op *kinds* still follow each reader's own rng).
-        assert _reader_queries(spec, 0, 30) == _reader_queries(spec, 0, 30)
+        assert reader_queries(spec, 0, 30) == reader_queries(spec, 0, 30)
 
     def test_workload_with_no_updates(self, paper_graph):
         serving = ServingIndex.build(paper_graph)

@@ -1,0 +1,333 @@
+"""Unit tests for the sharded serving tier's shared-memory plumbing.
+
+Covers the layers below the cross-process model suite
+(``test_serve_stateful.py``) and the fault-injection matrix
+(``test_errors_and_failure_injection.py``): the manifest wire codec,
+the generation-head seqlock, store refcounting across delta
+re-pointing, retirement/unlink discipline (the leak invariants), view
+lifecycle, worker-pool lifecycle, and the gateway's admission-control
+propagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import random_connected_graph
+
+from repro.errors import (
+    DeadlineExceededError,
+    ManifestError,
+)
+from repro.graph.generators import clique_chain_graph
+from repro.serve import (
+    ServeConfig,
+    ServingIndex,
+    ShardGateway,
+    SharedSnapshotStore,
+    SharedSnapshotView,
+    WorkerPool,
+)
+from repro.serve.shard import (
+    _HEAD_DTYPE,
+    _HEAD_SLOTS,
+    _LCA_SUFFIXES,
+    _STAR_SUFFIXES,
+    _attach_segment,
+    _decode_manifest,
+    _encode_manifest,
+    _HeadReader,
+    read_manifest,
+    system_segments,
+)
+
+
+@pytest.fixture
+def serving():
+    return ServingIndex.build(
+        clique_chain_graph([5, 4, 6]),
+        config=ServeConfig(region_fraction_limit=1.0),
+    )
+
+
+def _minimal_full_doc():
+    """The smallest manifest the validator accepts (kind=full)."""
+    buffers = (
+        ["star." + s for s in _STAR_SUFFIXES]
+        + ["lca." + s for s in _LCA_SUFFIXES]
+        + ["mst.parent", "mst.parent_weight", "edges"]
+    )
+    return {
+        "generation": 3,
+        "kind": "full",
+        "num_vertices": 7,
+        "num_edges": 9,
+        "segments": {
+            buffer: {
+                "segment": f"rshXs{i}",
+                "dtype": "int64",
+                "shape": [7],
+            }
+            for i, buffer in enumerate(buffers)
+        },
+    }
+
+
+class TestManifestCodec:
+    DOC = _minimal_full_doc()
+
+    def test_round_trip(self):
+        raw = _encode_manifest(self.DOC)
+        assert _decode_manifest(raw, "t") == self.DOC
+
+    def test_encoding_is_deterministic(self):
+        # sort_keys: the same doc always serializes to the same bytes,
+        # so a manifest can be compared byte-wise across publishes.
+        assert _encode_manifest(self.DOC) == _encode_manifest(dict(self.DOC))
+
+    def test_trailing_segment_padding_is_ignored(self):
+        # Segments round up to at least one byte (and the kernel may
+        # round to pages); the decoder must trust the header length.
+        raw = _encode_manifest(self.DOC) + b"\x00" * 512
+        assert _decode_manifest(raw, "t") == self.DOC
+
+    def test_missing_required_key_rejected(self):
+        doc = dict(self.DOC)
+        del doc["segments"]
+        with pytest.raises(ManifestError, match="missing"):
+            _decode_manifest(_encode_manifest(doc), "t")
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ManifestError, match="not an object"):
+            _decode_manifest(_encode_manifest([1, 2, 3]), "t")
+
+    def test_short_segment_rejected(self):
+        with pytest.raises(ManifestError, match="shorter than its header"):
+            _decode_manifest(b"RS", "t")
+
+
+class TestHeadSeqlock:
+    def test_head_is_even_and_monotonic_across_publishes(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            serving.publisher.set_exporter(store.publish_snapshot)
+            reader = _HeadReader(store.prefix)
+            try:
+                shm = _attach_segment(f"{store.prefix}head")
+                try:
+                    arr = np.ndarray(
+                        (_HEAD_SLOTS,), dtype=_HEAD_DTYPE, buffer=shm.buf
+                    )
+                    seq_before = int(arr[0])
+                    assert seq_before % 2 == 0  # writes are never torn
+                    assert int(arr[0]) == int(arr[2])  # mirror agrees
+                    assert reader.generation() == 0
+                    serving.apply_updates(inserts=[(1, 6)])
+                    serving.publish()
+                    assert reader.generation() == 1
+                    assert store.head_generation() == 1
+                    # One publish = one seqlock write = sequence + 2.
+                    assert int(arr[0]) == seq_before + 2
+                    assert int(arr[0]) % 2 == 0
+                    arr = None
+                finally:
+                    shm.close()
+            finally:
+                reader.close()
+                serving.publisher.set_exporter(None)
+
+
+class TestStoreRefcounting:
+    def test_delta_repoints_base_segments_by_name(self, serving):
+        with SharedSnapshotStore() as store:
+            doc0 = store.publish_snapshot(serving.snapshot())
+            serving.publisher.set_exporter(store.publish_snapshot)
+            serving.apply_updates(inserts=[(1, 6)])
+            report = serving.publish()
+            serving.publisher.set_exporter(None)
+            assert report.mode == "delta"
+            doc1 = read_manifest(store.prefix, 1)
+            # Untouched base buffers are re-pointed, not re-copied.
+            for buffer in ("star.parents", "lca.euler", "lca.table2d"):
+                assert (
+                    doc1["segments"][buffer]["segment"]
+                    == doc0["segments"][buffer]["segment"]
+                ), buffer
+            # The patch overlay is delta-only.
+            assert any(b.startswith("patch.") for b in doc1["segments"])
+
+    def test_publish_retires_older_generations(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            serving.publisher.set_exporter(store.publish_snapshot)
+            serving.apply_updates(inserts=[(1, 6)])
+            report = serving.publish()
+            serving.publisher.set_exporter(None)
+            assert store.generations() == [report.generation]
+            # The retired manifest is unlinked; its shared base data
+            # segments survive because generation 1 still refs them.
+            with pytest.raises(FileNotFoundError):
+                read_manifest(store.prefix, 0)
+            doc1 = read_manifest(store.prefix, 1)
+            live = set(store.live_segment_names())
+            for spec in doc1["segments"].values():
+                assert spec["segment"] in live, spec
+
+    def test_retiring_the_last_generation_drains_every_refcount(
+        self, serving
+    ):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            serving.publisher.set_exporter(store.publish_snapshot)
+            serving.apply_updates(inserts=[(1, 6)])
+            serving.publish()
+            serving.publisher.set_exporter(None)
+            store.retire(1)
+            head = f"{store.prefix}head"
+            assert store.live_segment_names() == [head]
+            assert system_segments(store.prefix) == [head]
+            assert store.generations() == []
+
+    def test_close_unlinks_everything_and_is_idempotent(self, serving):
+        store = SharedSnapshotStore()
+        store.publish_snapshot(serving.snapshot())
+        prefix = store.prefix
+        assert system_segments(prefix)  # segments exist while open
+        store.close()
+        store.close()  # second close is a no-op
+        assert system_segments(prefix) == []
+        assert store.live_segment_names() == []
+
+    def test_existing_mappings_survive_retirement(self, serving):
+        # Linux semantics: unlink removes the name, not the memory —
+        # a view attached before retirement keeps answering.
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            snap = serving.snapshot()
+            view = SharedSnapshotView.attach(store.prefix, 0)
+            try:
+                serving.publisher.set_exporter(store.publish_snapshot)
+                serving.apply_updates(inserts=[(1, 6)])
+                serving.publish()
+                serving.publisher.set_exporter(None)
+                with pytest.raises(FileNotFoundError):
+                    read_manifest(store.prefix, 0)
+                assert view.sc([0, 1]) == snap.steiner_connectivity([0, 1])
+            finally:
+                view.close()
+
+
+class TestViewLifecycle:
+    def test_attach_unknown_generation_raises_file_not_found(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            with pytest.raises(FileNotFoundError):
+                SharedSnapshotView.attach(store.prefix, 7)
+
+    def test_view_buffers_are_read_only(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            view = SharedSnapshotView.attach(store.prefix, 0)
+            try:
+                with pytest.raises(ValueError):
+                    view.star._parents_arr[0] = -1
+                for name, arr in view._arrays.items():
+                    assert not arr.flags.writeable, name
+            finally:
+                view.close()
+
+    def test_view_close_is_idempotent(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            view = SharedSnapshotView.attach(store.prefix, 0)
+            assert view.sc([0, 1]) >= 1
+            view.close()
+            view.close()
+
+
+class TestWorkerPoolLifecycle:
+    def test_pool_shutdown_leaves_zero_segments(self, serving):
+        store = SharedSnapshotStore()
+        prefix = store.prefix
+        store.publish_snapshot(serving.snapshot())
+        snap = serving.snapshot()
+        with WorkerPool(prefix, 2) as pool:
+            for worker in range(pool.size):
+                generation, value = pool.request(
+                    worker, ("sc", [0, 1], None)
+                )
+                assert generation == 0
+                assert value == snap.steiner_connectivity([0, 1])
+            stats = pool.worker_stats()
+            assert [s["answered"] for s in stats] == [1, 1]
+            assert pool.restarts == 0
+        # Workers detached on stop; the store owns the final unlink.
+        store.close()
+        assert system_segments(prefix) == []
+
+    def test_batch_request_counts_batches(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            snap = serving.snapshot()
+            queries = [[0, 1], [5, 6], [9, 10, 11]]
+            with WorkerPool(store.prefix, 1) as pool:
+                _, answers = pool.request(0, ("sc_batch", queries, None))
+                assert answers == snap.steiner_connectivity_batch(queries)
+                stats = pool.worker_stats()[0]
+                assert stats["batches"] == 1
+                assert stats["answered"] == len(queries)
+
+
+class TestGatewayAdmission:
+    def test_staleness_budget_degrades_to_direct_path(self, serving):
+        with ShardGateway(serving, 2) as gateway:
+            # Unpublished churn: the snapshot lags by one update.
+            serving.apply_updates(inserts=[(1, 6)])
+            assert serving.staleness() == 1
+            value = gateway.sc([1, 6], max_staleness=0)
+            # Only the direct engine sees the unpublished edge's effect;
+            # the fresh answer must match a fresh rebuild.
+            rebuilt = ServingIndex.build(
+                _current_graph(serving)
+            ).snapshot()
+            assert value == rebuilt.steiner_connectivity([1, 6])
+            assert gateway.stats()["gateway"]["degraded"] >= 1
+
+    def test_expired_deadline_raises_before_dispatch(self, serving):
+        with ShardGateway(serving, 2) as gateway:
+            with pytest.raises(DeadlineExceededError):
+                gateway.sc([0, 1], timeout=0.0)
+            assert gateway.stats()["gateway"]["dispatched"] == 0
+
+    def test_gateway_shuts_down_leak_free_after_random_traffic(self):
+        import random
+
+        graph = random_connected_graph(19, min_n=10, max_n=14)
+        serving = ServingIndex.build(
+            graph, config=ServeConfig(region_fraction_limit=1.0)
+        )
+        rng = random.Random(3)
+        n = graph.num_vertices
+        with ShardGateway(serving, 2) as gateway:
+            prefix = gateway.store.prefix
+            snap = serving.snapshot()
+            for _ in range(15):
+                q = rng.sample(range(n), rng.randint(2, 3))
+                assert gateway.sc(q) == snap.steiner_connectivity(q)
+        assert system_segments(prefix) == []
+        # The exporter hook was uninstalled: later publishes are local.
+        serving.apply_updates(deletes=[next(iter(graph.edges()))])
+        serving.publish()
+        assert system_segments(prefix) == []
+
+
+def _current_graph(serving):
+    """The live (possibly unpublished) graph under a serving index."""
+    from repro.graph.graph import Graph
+
+    with serving.publisher.lock:
+        index = serving.publisher.index
+        graph = Graph(index.graph.num_vertices)
+        for u, v in index.graph.edges():
+            graph.add_edge(u, v)
+    return graph

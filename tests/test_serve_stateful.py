@@ -482,3 +482,241 @@ def test_serve_stateful_stress(seed):
         max_n=24,
     )
     assert verified >= 4  # every reader recorded work
+
+
+# ----------------------------------------------------------------------
+# Cross-process model suite: the sharded tier against the same oracle
+# ----------------------------------------------------------------------
+#
+# The clients now talk to worker *processes* mapping shared-memory
+# snapshots, racing a writer that publishes through the store's
+# exporter hook.  The invariant is unchanged: every recorded answer
+# must equal a from-scratch rebuild at some single generation that was
+# live during the call.  The generation window is read off the shared
+# head segment (monotonic, seqlock-protected), so a worker serving a
+# torn manifest, a stale mapping, or a half-retired generation matches
+# no window entry and fails the round.
+
+from repro.serve import ShardGateway  # noqa: E402
+
+
+def _union_graph(seed: int, *, min_n: int = 8, max_n: int = 12) -> Graph:
+    """Two random connected components in one vertex space.
+
+    Sharding is component-affine, so a single-component graph pins every
+    query to one worker; two components exercise both workers *and* the
+    cross-component DISC paths.
+    """
+    a = random_connected_graph(seed, min_n=min_n, max_n=max_n)
+    b = random_connected_graph(seed + 1, min_n=min_n, max_n=max_n)
+    graph = Graph(a.num_vertices + b.num_vertices)
+    for u, v in a.edges():
+        graph.add_edge(u, v)
+    for u, v in b.edges():
+        graph.add_edge(u + a.num_vertices, v + a.num_vertices)
+    return graph
+
+
+def _run_shard_client(
+    gateway: ShardGateway,
+    seed: int,
+    ops: int,
+    start: threading.Barrier,
+    records: List[Record],
+    failures: List[str],
+) -> None:
+    rng = random.Random(seed)
+    n = gateway.serving.snapshot().num_vertices
+    size_cap = min(3, n)
+    head = gateway.store.head_generation
+    start.wait()
+    for _ in range(ops):
+        q = rng.sample(range(n), rng.randint(2, size_cap))
+        roll = rng.random()
+        g0 = head()
+        try:
+            if roll < 0.45:
+                kind, payload = "sc", tuple(q)
+                try:
+                    value: object = gateway.sc(q)
+                except DisconnectedQueryError:
+                    value = DISC
+            elif roll < 0.75:
+                kind, payload = "smcc", tuple(q)
+                try:
+                    result = gateway.smcc(q)
+                    value = (
+                        result.connectivity,
+                        tuple(sorted(result.vertices)),
+                    )
+                except DisconnectedQueryError:
+                    value = DISC
+            else:
+                kind = "batch"
+                qs = [
+                    rng.sample(range(n), rng.randint(2, size_cap))
+                    for _ in range(3)
+                ]
+                payload = tuple(tuple(x) for x in qs)
+                value = gateway.sc_batch(qs)
+            records.append((g0, head(), kind, payload, value))
+        except Exception as exc:  # noqa: BLE001 - report, don't hang the join
+            failures.append(f"shard-client(seed={seed}) raised {exc!r}")
+            return
+
+
+def _run_shard_round(
+    seed: int,
+    *,
+    workers: int = 2,
+    clients: int = 2,
+    client_ops: int = 8,
+    updates: int = 6,
+    min_n: int = 8,
+    max_n: int = 12,
+) -> Tuple[int, Dict[str, object]]:
+    """One cross-process interleaving; returns (verified, shard stats)."""
+    graph = _union_graph(seed * 53 + 13, min_n=min_n, max_n=max_n)
+    config = ServeConfig(
+        invalidation="region" if seed % 3 else "wholesale",
+        region_fraction_limit=1.0,
+        delta_publish=bool(seed % 2),
+    )
+    serving = ServingIndex.build(graph, config=config)
+    gen_edges: Dict[int, Tuple[Edge, ...]] = {0: serving.snapshot().edges}
+    gen_lock = threading.Lock()
+    failures: List[str] = []
+    client_records: List[List[Record]] = [[] for _ in range(clients)]
+    with ShardGateway(serving, workers) as gateway:
+        start = threading.Barrier(clients + 1)
+        threads = [
+            threading.Thread(
+                target=_run_shard_client,
+                args=(gateway, seed * 1013 + i, client_ops, start,
+                      client_records[i], failures),
+                name=f"shard-client-{i}",
+            )
+            for i in range(clients)
+        ]
+        threads.append(
+            threading.Thread(
+                target=_run_writer,
+                args=(serving, seed * 983 + 3, updates, start, gen_edges,
+                      gen_lock, failures),
+                name="shard-writer",
+            )
+        )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = gateway.stats()
+    assert not failures, failures
+
+    oracle = _Oracle(graph.num_vertices, gen_edges)
+    verified = 0
+    for records in client_records:
+        for g0, g1, kind, payload, value in records:
+            window = range(g0, g1 + 1)
+            matches = {g: oracle.answer(g, kind, payload) for g in window}
+            assert any(answer == value for answer in matches.values()), (
+                f"seed={seed}: shard {kind}({payload!r}) answered {value!r}, "
+                f"but no single generation in {g0}..{g1} agrees: {matches!r} "
+                "(torn manifest, stale mapping, or half-retired generation)"
+            )
+            verified += 1
+    return verified, stats
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_shard_serve_stateful_interleavings(seed):
+    verified, stats = _run_shard_round(seed)
+    assert verified > 0
+    assert stats["worker_totals"]["answered"] > 0  # type: ignore[index]
+    assert stats["restarts"] == 0, stats
+
+
+def test_shard_round_spreads_over_both_workers():
+    """Component-affine routing loads both workers on a 2-component graph."""
+    _, stats = _run_shard_round(2, clients=3, client_ops=12, updates=4)
+    answering = [
+        w for w in stats["per_worker"]  # type: ignore[index]
+        if w["answered"] > 0
+    ]
+    assert len(answering) == 2, stats["per_worker"]  # type: ignore[index]
+
+
+def test_shard_async_coalesced_answers_match_some_generation():
+    """The asyncio front under churn: every coalesced answer has a home.
+
+    ``sc_async`` uses the batch convention (disconnected -> 0), so the
+    oracle kind is ``batch`` with singleton queries.  The writer
+    publishes between flush ticks; a coalesced batch answered from a
+    mix of generations would fail the window check.
+    """
+    import asyncio
+
+    seed = 97
+    graph = _union_graph(seed, min_n=8, max_n=12)
+    serving = ServingIndex.build(
+        graph, config=ServeConfig(region_fraction_limit=1.0)
+    )
+    gen_edges: Dict[int, Tuple[Edge, ...]] = {0: serving.snapshot().edges}
+    records: List[Record] = []
+    n = graph.num_vertices
+
+    with ShardGateway(serving, 2) as gateway:
+        head = gateway.store.head_generation
+
+        async def client(client_seed: int) -> None:
+            rng = random.Random(client_seed)
+            for _ in range(12):
+                q = rng.sample(range(n), rng.randint(2, 3))
+                g0 = head()
+                value = await gateway.sc_async(q)
+                records.append((g0, head(), "batch", (tuple(q),), [value]))
+
+        async def writer() -> None:
+            rng = random.Random(seed * 7 + 1)
+            present = sorted(serving.snapshot().edges)
+            for _ in range(4):
+                await asyncio.sleep(0)  # yield: let enqueues interleave
+                u, v = present.pop(rng.randrange(len(present)))
+                serving.apply_updates(deletes=[(u, v)])
+                report = serving.publish()
+                gen_edges[report.generation] = report.snapshot.edges
+
+        async def main() -> None:
+            await asyncio.gather(
+                client(seed * 11 + 1), client(seed * 11 + 2), writer()
+            )
+
+        asyncio.run(main())
+        stats = gateway.stats()
+
+    oracle = _Oracle(n, gen_edges)
+    for g0, g1, kind, payload, value in records:
+        matches = {
+            g: oracle.answer(g, kind, payload) for g in range(g0, g1 + 1)
+        }
+        assert any(answer == value for answer in matches.values()), (
+            f"async {kind}({payload!r}) answered {value!r}; "
+            f"no generation in {g0}..{g1} agrees: {matches!r}"
+        )
+    assert stats["worker_totals"]["answered"] >= 24  # type: ignore[index]
+
+
+@pytest.mark.serve_stress
+@pytest.mark.parametrize("seed", range(2000, 2008))
+def test_shard_serve_stateful_stress(seed):
+    """Heavier cross-process interleavings for the CI shard job."""
+    verified, stats = _run_shard_round(
+        seed,
+        clients=4,
+        client_ops=20,
+        updates=12,
+        min_n=10,
+        max_n=16,
+    )
+    assert verified >= 4
+    assert stats["worker_totals"]["answered"] > 0  # type: ignore[index]
