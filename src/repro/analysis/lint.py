@@ -26,6 +26,7 @@ from repro.analysis.engine import (
     lint_contexts,
 )
 from repro.analysis.immutability import IMMUTABILITY_RULE_IDS
+from repro.analysis.lifecycle import LIFECYCLE_RULE_IDS
 from repro.analysis.rules import all_rule_ids, make_rules, rule_description
 
 EXIT_CLEAN = 0
@@ -71,6 +72,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the deep-immutability rule set (frozen-mutation, "
         "frozen-escape, frozen-invalid); combines with --rules as a union",
+    )
+    parser.add_argument(
+        "--lifecycle",
+        action="store_true",
+        help="run the resource-lifecycle rule set (resource-leak, "
+        "double-release, blocking-in-async, lifecycle-invalid); "
+        "combines with --rules as a union",
     )
     parser.add_argument(
         "--fail-on",
@@ -119,6 +127,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         only = (only or set()) | set(CONCURRENCY_RULE_IDS)
     if args.immutability:
         only = (only or set()) | set(IMMUTABILITY_RULE_IDS)
+    if args.lifecycle:
+        only = (only or set()) | set(LIFECYCLE_RULE_IDS)
 
     try:
         contexts = collect_contexts(args.paths)

@@ -146,6 +146,7 @@ def _ensure_registered() -> None:
     _EXTRA_RULE_MODULES_LOADED = True
     import repro.analysis.concurrency  # noqa: F401  (registers rules)
     import repro.analysis.immutability  # noqa: F401  (registers rules)
+    import repro.analysis.lifecycle  # noqa: F401  (registers rules)
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:

@@ -29,42 +29,39 @@ def read_edge_list(source: Union[PathLike, TextIO], relabel: bool = True) -> Gra
     ``relabel=True`` (default) arbitrary integer ids are densified to
     ``0 .. n-1`` in first-seen order; otherwise ids are used as-is.
     """
-    close = False
     if isinstance(source, (str, os.PathLike)):
-        handle = open(source, "r", encoding="utf-8")
-        close = True
-    else:
-        handle = source
-    try:
-        labels: Dict[int, int] = {}
-        edges: List[tuple] = []
-        max_id = -1
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#") or line.startswith("%"):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"line {lineno}: expected two vertex ids, got {line!r}")
-            try:
-                a, b = int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise GraphError(f"line {lineno}: non-integer vertex id in {line!r}") from exc
-            if relabel:
-                u = labels.setdefault(a, len(labels))
-                v = labels.setdefault(b, len(labels))
-            else:
-                if a < 0 or b < 0:
-                    raise GraphError(f"line {lineno}: negative vertex id without relabeling")
-                u, v = a, b
-                max_id = max(max_id, u, v)
-            if u != v:
-                edges.append((u, v))
-        n = len(labels) if relabel else max_id + 1
-        return Graph.from_edges(edges, num_vertices=n)
-    finally:
-        if close:
-            handle.close()
+        with open(source, "r", encoding="utf-8") as handle:
+            return _parse_edge_list(handle, relabel)
+    return _parse_edge_list(source, relabel)
+
+
+def _parse_edge_list(handle: TextIO, relabel: bool) -> Graph:
+    labels: Dict[int, int] = {}
+    edges: List[tuple] = []
+    max_id = -1
+    for lineno, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line or line.startswith("#") or line.startswith("%"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphError(f"line {lineno}: expected two vertex ids, got {line!r}")
+        try:
+            a, b = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise GraphError(f"line {lineno}: non-integer vertex id in {line!r}") from exc
+        if relabel:
+            u = labels.setdefault(a, len(labels))
+            v = labels.setdefault(b, len(labels))
+        else:
+            if a < 0 or b < 0:
+                raise GraphError(f"line {lineno}: negative vertex id without relabeling")
+            u, v = a, b
+            max_id = max(max_id, u, v)
+        if u != v:
+            edges.append((u, v))
+    n = len(labels) if relabel else max_id + 1
+    return Graph.from_edges(edges, num_vertices=n)
 
 
 def write_edge_list(graph: Graph, path: PathLike) -> None:

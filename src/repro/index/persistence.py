@@ -36,7 +36,7 @@ def _load_npz(path: PathLike, fields: Tuple[str, ...]) -> Iterator[Dict[str, np.
     :class:`~repro.errors.IndexPersistenceError` carrying the path.
     """
     try:
-        data = np.load(path)
+        data = np.load(path)  # owns: npz
     except FileNotFoundError:
         raise IndexPersistenceError(path, "file does not exist") from None
     except IndexPersistenceError:

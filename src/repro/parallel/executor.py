@@ -21,6 +21,7 @@ import multiprocessing
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, List, Optional
 
+from repro.analysis import leaktrack as _leaktrack
 from repro.parallel.config import resolve_jobs
 
 
@@ -32,6 +33,7 @@ def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
         return None
 
 
+# owns: piece-executor
 class PieceExecutor:
     """A lazily created, bounded process pool for piece fan-out.
 
@@ -62,11 +64,19 @@ class PieceExecutor:
         if self._pool is None:
             context = _pool_context()
             if context is not None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.jobs, mp_context=context
+                self._pool = _leaktrack.tracked(
+                    ProcessPoolExecutor(
+                        max_workers=self.jobs, mp_context=context
+                    ),
+                    "process-pool",
+                    f"piece-pool:{id(self)}",
                 )
             else:  # pragma: no cover - platforms without fork
-                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self._pool = _leaktrack.tracked(
+                    ProcessPoolExecutor(max_workers=self.jobs),
+                    "process-pool",
+                    f"piece-pool:{id(self)}",
+                )
         return self._pool
 
     # ------------------------------------------------------------------
@@ -85,6 +95,13 @@ class PieceExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Zero-leak sweep: with REPRO_LEAKTRACK=1 armed, a pool this
+        # executor spawned and never tore down raises LeakError carrying
+        # the allocation stack (no-op when disarmed).
+        _leaktrack.sweep(
+            "PieceExecutor.shutdown",
+            label_prefixes=(f"piece-pool:{id(self)}",),
+        )
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "PieceExecutor":

@@ -241,7 +241,7 @@ class ServingIndex:
         report = self.publisher.publish()
         if report.mode == "noop":
             return report  # nothing changed; cache generation holds
-        snapshot = report.snapshot
+        snapshot = report.snapshot  # borrowed-resource
         affected = self._effective_region(snapshot, report.affected)
         self.cache.advance(snapshot.generation, affected)
         self._mirror_cache_metrics()
@@ -272,7 +272,7 @@ class ServingIndex:
         try:
             if self._needs_direct(max_staleness):
                 return self._direct_sc(q, deadline)
-            snapshot = self.snapshot()
+            snapshot = self.snapshot()  # borrowed-resource
             key = canonical_query("sc", tuple(q))
             entry = self.cache.get(key, snapshot.generation)
             if entry is not None:

@@ -74,6 +74,7 @@ from typing import (
 
 import numpy as np
 
+from repro.analysis import leaktrack as _leaktrack
 from repro.analysis.tsan import monitored, new_lock
 from repro.core.queries import SMCCResult
 from repro.errors import (
@@ -107,6 +108,7 @@ __all__ = [
     "run_shard_workload",
     "read_manifest",
     "system_segments",
+    "list_repro_segments",
 ]
 
 Edge = Tuple[int, int]
@@ -140,6 +142,7 @@ _LCA_SUFFIXES = ("first", "component", "euler", "depth", "log", "table2d")
 _TRACKER_PATCH_LOCK = new_lock("shard._TRACKER_PATCH_LOCK")
 
 
+# owns: shm-segment
 def _attach_segment(name: str) -> "multiprocessing.shared_memory.SharedMemory":
     """Attach an existing segment without resource-tracker ownership.
 
@@ -156,18 +159,24 @@ def _attach_segment(name: str) -> "multiprocessing.shared_memory.SharedMemory":
     from multiprocessing import resource_tracker, shared_memory
 
     try:
-        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+        shm = shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
     except TypeError:
         pass
+    else:
+        # transfers: shm
+        return _leaktrack.tracked(shm, "shm-segment", f"attached:{name}")
     with _TRACKER_PATCH_LOCK:
         original = resource_tracker.register
         resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
         try:
-            return shared_memory.SharedMemory(name=name)
+            shm = shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original
+    # transfers: shm
+    return _leaktrack.tracked(shm, "shm-segment", f"attached:{name}")
 
 
+# owns: shm-segment
 def _create_segment(
     name: str, size: int
 ) -> "multiprocessing.shared_memory.SharedMemory":
@@ -176,9 +185,11 @@ def _create_segment(
     # Under the patch lock so a concurrent attach's registration
     # suppression can never swallow this creation's tracker entry.
     with _TRACKER_PATCH_LOCK:
-        return shared_memory.SharedMemory(
+        shm = shared_memory.SharedMemory(
             name=name, create=True, size=max(size, 1)
         )
+    # transfers: shm
+    return _leaktrack.tracked(shm, "shm-segment", f"created:{name}")
 
 
 def system_segments(prefix: str) -> List[str]:
@@ -193,6 +204,17 @@ def system_segments(prefix: str) -> List[str]:
     return sorted(
         entry for entry in os.listdir(shm_dir) if entry.startswith(prefix)
     )
+
+
+def list_repro_segments(prefix: str = "rsh") -> List[str]:
+    """Every live repro shard segment on this host.
+
+    Store prefixes default to ``rsh<uuid>``, so the bare default is a
+    process-wide zero-leak probe: the shared pytest fixture snapshots
+    it before and after each shard test and fails naming any leftover
+    segment.
+    """
+    return system_segments(prefix)
 
 
 # ----------------------------------------------------------------------
@@ -292,10 +314,11 @@ def read_manifest(prefix: str, generation: int) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Head segment: single-writer seqlock over the newest generation number
 # ----------------------------------------------------------------------
+# owns: head-reader
 class _HeadReader:
     """Reader end of the generation head (attach once, read many)."""
 
-    __slots__ = ("_shm", "_arr")
+    __slots__ = ("_shm", "_arr", "_closed")
 
     def __init__(self, prefix: str) -> None:
         self._shm = _attach_segment(f"{prefix}head")
@@ -303,6 +326,7 @@ class _HeadReader:
         self._arr = np.ndarray(
             (_HEAD_SLOTS,), dtype=_HEAD_DTYPE, buffer=self._shm.buf
         )
+        self._closed = False  # guarded-by: thread-local
 
     def generation(self) -> int:
         arr = self._arr
@@ -314,6 +338,9 @@ class _HeadReader:
                 return generation
 
     def close(self) -> None:
+        if self._closed:  # second close is a no-op, not an error
+            return
+        self._closed = True
         # Drop the ndarray before closing: mmap refuses to unmap while
         # exported buffers are alive (BufferError).
         self._arr = None  # type: ignore[assignment]
@@ -324,6 +351,7 @@ class _HeadReader:
 # Writer side: the store
 # ----------------------------------------------------------------------
 @monitored
+# owns: snapshot-store
 class SharedSnapshotStore:
     """Serializes snapshot generations into refcounted shm segments.
 
@@ -362,9 +390,18 @@ class SharedSnapshotStore:
         head = _create_segment(
             f"{self.prefix}head", _HEAD_SLOTS * np.dtype(_HEAD_DTYPE).itemsize
         )
-        arr = np.ndarray((_HEAD_SLOTS,), dtype=_HEAD_DTYPE, buffer=head.buf)
-        arr[:] = 0
-        arr[1] = -1
+        try:
+            arr = np.ndarray(
+                (_HEAD_SLOTS,), dtype=_HEAD_DTYPE, buffer=head.buf
+            )
+            arr[:] = 0
+            arr[1] = -1
+        except BaseException:
+            # The store never existed: unlink the head rather than leak
+            # an orphan segment no close() will ever reach.
+            head.unlink()
+            head.close()
+            raise
         self._head_shm = head  # guarded-by: immutable-after-publish
         self._head_arr = arr  # guarded-by: _lock [writes]
 
@@ -379,11 +416,14 @@ class SharedSnapshotStore:
         arr = np.ascontiguousarray(np.asarray(value, dtype=np.int64))
         name = self._new_segment_name()
         shm = _create_segment(name, arr.nbytes)
+        # Register the handle *before* filling the buffer: a copy that
+        # dies faulting in pages (ENOSPC on /dev/shm) must leave the
+        # segment reachable by the export rollback, not leaked.
+        self._segments[name] = shm
+        self._refs[name] = 0
         if arr.nbytes:
             dest = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
             np.copyto(dest, arr)
-        self._segments[name] = shm
-        self._refs[name] = 0
         return name
 
     # guarded-by: _lock
@@ -452,82 +492,121 @@ class SharedSnapshotStore:
             generation = snapshot.generation
             if generation in self._generations:
                 return self._generations[generation]["doc"]
-            star = snapshot.star
-            segments: Dict[str, Dict[str, Any]] = {}
-            shapes: Dict[str, Any] = {}
-            kind = "full"
-            region: Optional[Dict[str, int]] = None
-            if isinstance(star, DeltaStar):
-                kind = "delta"
-                base_names, base_values = self._export_star(
-                    star.base, "star.", "lca."
-                )
-                patch_names, patch_values = self._export_star(
-                    star.patch, "patch.", "plca."
-                )
-                names = dict(base_names)
-                names.update(patch_names)
-                shapes.update(base_values)
-                shapes.update(patch_values)
-                delta_values: Dict[str, Any] = {
-                    "delta.leaf_order": star.leaf_order,
-                    "delta.leaf_position": star.leaf_position,
-                    "delta.local_map": star._local_map,
-                    "delta.region_leaves": star._global_of,
-                }
-                for buffer, value in delta_values.items():
-                    names[buffer] = self._export_array(value)
-                    shapes[buffer] = value
-                region = {
-                    "node": int(star.region_node),
-                    "start": int(star.region_start),
-                    "end": int(star.region_end),
-                    "boundary_weight": int(star.boundary_weight),
-                }
-            else:
-                names, shapes = self._export_star(star, "star.", "lca.")
-            mst = snapshot._mst
-            per_gen: Dict[str, Any] = {
-                "mst.parent": mst._parent,
-                "mst.parent_weight": mst._parent_weight,
-                "edges": np.asarray(snapshot.edges, dtype=np.int64).reshape(
-                    (snapshot.num_edges, 2)
-                ),
+            before = set(self._segments)
+            try:
+                return self._export_locked(snapshot, generation)
+            except BaseException as exc:
+                self._rollback_export(before)
+                if isinstance(exc, OSError):
+                    raise ServeError(
+                        f"exporting generation {generation} failed: {exc}"
+                    ) from exc
+                raise
+
+    # guarded-by: _lock
+    def _rollback_export(self, before: "set[str]") -> None:
+        """Undo a partial export: unlink every segment it created.
+
+        Fresh segments register in ``_segments`` before their buffers
+        fill, so an export dying after the Nth ``_create_segment``
+        (ENOSPC, a poisoned snapshot attribute) leaves every partial
+        segment reachable here and ``/dev/shm`` exactly as it was.
+        Reused segments belong to prior generations (they are in
+        ``before``) and are untouched.
+        """
+        for name in [n for n in self._segments if n not in before]:
+            self._refs.pop(name, None)
+            self._drop_segment(name, unlink_now=True)
+        for key in [
+            k
+            for k, names in self._star_exports.items()
+            if any(n not in self._refs for n in names.values())
+        ]:
+            self._star_exports.pop(key, None)
+            self._star_pins.pop(key, None)
+
+    # guarded-by: _lock
+    def _export_locked(
+        self, snapshot: IndexSnapshot, generation: int
+    ) -> Dict[str, Any]:
+        star = snapshot.star
+        segments: Dict[str, Dict[str, Any]] = {}
+        shapes: Dict[str, Any] = {}
+        kind = "full"
+        region: Optional[Dict[str, int]] = None
+        if isinstance(star, DeltaStar):
+            kind = "delta"
+            base_names, base_values = self._export_star(
+                star.base, "star.", "lca."
+            )
+            patch_names, patch_values = self._export_star(
+                star.patch, "patch.", "plca."
+            )
+            names = dict(base_names)
+            names.update(patch_names)
+            shapes.update(base_values)
+            shapes.update(patch_values)
+            delta_values: Dict[str, Any] = {
+                "delta.leaf_order": star.leaf_order,
+                "delta.leaf_position": star.leaf_position,
+                "delta.local_map": star._local_map,
+                "delta.region_leaves": star._global_of,
             }
-            for buffer, value in per_gen.items():
+            for buffer, value in delta_values.items():
                 names[buffer] = self._export_array(value)
                 shapes[buffer] = value
-            for buffer, segment in names.items():
-                value = shapes.get(buffer)
-                if value is None:
-                    # Reused segment: recover the shape from the live
-                    # handle (1-D int64 except the matrices, whose shape
-                    # a prior generation's manifest already recorded).
-                    value = self._reused_shape(generation, buffer, segment)
-                segments[buffer] = self._spec(value, segment)
-            doc: Dict[str, Any] = {
-                "format": "repro-shard-manifest",
-                "version": _MANIFEST_VERSION,
-                "generation": generation,
-                "kind": kind,
-                "num_vertices": snapshot.num_vertices,
-                "num_edges": snapshot.num_edges,
-                "segments": segments,
-                "region": region,
+            region = {
+                "node": int(star.region_node),
+                "start": int(star.region_start),
+                "end": int(star.region_end),
+                "boundary_weight": int(star.boundary_weight),
             }
-            manifest_name = f"{self.prefix}m{generation}"
-            payload = _encode_manifest(doc)
-            shm = _create_segment(manifest_name, len(payload))
-            shm.buf[: len(payload)] = payload
-            self._segments[manifest_name] = shm
-            for segment in names.values():
-                self._refs[segment] += 1
-            self._generations[generation] = {
-                "doc": doc,
-                "manifest": manifest_name,
-                "segments": sorted(set(names.values())),
-            }
-            return doc
+        else:
+            names, shapes = self._export_star(star, "star.", "lca.")
+        mst = snapshot._mst
+        per_gen: Dict[str, Any] = {
+            "mst.parent": mst._parent,
+            "mst.parent_weight": mst._parent_weight,
+            "edges": np.asarray(snapshot.edges, dtype=np.int64).reshape(
+                (snapshot.num_edges, 2)
+            ),
+        }
+        for buffer, value in per_gen.items():
+            names[buffer] = self._export_array(value)
+            shapes[buffer] = value
+        for buffer, segment in names.items():
+            value = shapes.get(buffer)
+            if value is None:
+                # Reused segment: recover the shape from the live
+                # handle (1-D int64 except the matrices, whose shape
+                # a prior generation's manifest already recorded).
+                value = self._reused_shape(generation, buffer, segment)
+            segments[buffer] = self._spec(value, segment)
+        doc: Dict[str, Any] = {
+            "format": "repro-shard-manifest",
+            "version": _MANIFEST_VERSION,
+            "generation": generation,
+            "kind": kind,
+            "num_vertices": snapshot.num_vertices,
+            "num_edges": snapshot.num_edges,
+            "segments": segments,
+            "region": region,
+        }
+        manifest_name = f"{self.prefix}m{generation}"
+        payload = _encode_manifest(doc)
+        shm = _create_segment(manifest_name, len(payload))
+        # Register before filling (same rollback contract as
+        # _export_array).
+        self._segments[manifest_name] = shm
+        shm.buf[: len(payload)] = payload
+        for segment in names.values():
+            self._refs[segment] += 1
+        self._generations[generation] = {
+            "doc": doc,
+            "manifest": manifest_name,
+            "segments": sorted(set(names.values())),
+        }
+        return doc
 
     # guarded-by: _lock
     def _reused_shape(self, generation: int, buffer: str, segment: str) -> Any:
@@ -604,7 +683,7 @@ class SharedSnapshotStore:
 
     # guarded-by: _lock
     def _drop_segment(self, name: str, *, unlink_now: bool) -> None:
-        shm = self._segments.pop(name, None)
+        shm = self._segments.pop(name, None)  # owns: shm-segment
         if shm is None:
             return
         if unlink_now:
@@ -646,6 +725,14 @@ class SharedSnapshotStore:
             self._star_exports.clear()
             self._star_pins.clear()
             self._closed = True
+        # Zero-leak sweep: with REPRO_LEAKTRACK=1 armed, any segment
+        # this store created and never dropped raises LeakError naming
+        # its allocation stack (no-op when disarmed).
+        _leaktrack.sweep(
+            "SharedSnapshotStore.close",
+            label_prefixes=(f"created:{self.prefix}",),
+            kinds=("shm-segment",),
+        )
 
     def __enter__(self) -> "SharedSnapshotStore":
         return self
@@ -737,6 +824,7 @@ def _build_delta_view(
     return delta
 
 
+# owns: snapshot-view
 class SharedSnapshotView:
     """A worker-side, read-only mapping of one published generation.
 
@@ -959,46 +1047,50 @@ def _worker_main(conn: Any, prefix: str, worker_id: int) -> None:
             target = head.generation()
         return view
 
-    while True:
-        try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break
-        kind = msg[0]
-        if kind == "stop":
-            conn.send(("ok", view.generation if view else -1, None))
-            break
-        if kind == "stats":
-            generation = view.generation if view is not None else -1
-            conn.send(("ok", generation, dict(counters)))
-            continue
-        try:
-            current = ensure_view()
-            deadline = Deadline(msg[-1])
-            deadline.check()
-            if kind == "sc":
-                result: Any = current.sc(msg[1])
-                counters["answered"] += 1
-            elif kind == "sc_batch":
-                result = current.sc_batch(msg[1])
-                counters["answered"] += len(msg[1])
-                counters["batches"] += 1
-            elif kind == "smcc":
-                result = current.smcc(msg[1])
-                counters["answered"] += 1
-            elif kind == "smcc_l":
-                result = current.smcc_l(msg[1], msg[2])
-                counters["answered"] += 1
-            else:
-                raise ServeError(f"unknown shard request kind {kind!r}")
-            conn.send(("ok", current.generation, result))
-        except Exception as exc:
-            counters["errors"] += 1
-            conn.send(("err", type(exc).__name__, str(exc)))
-    if view is not None:
-        view.close()
-    head.close()
-    conn.close()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                conn.send(("ok", view.generation if view else -1, None))
+                break
+            if kind == "stats":
+                generation = view.generation if view is not None else -1
+                conn.send(("ok", generation, dict(counters)))
+                continue
+            try:
+                current = ensure_view()
+                deadline = Deadline(msg[-1])
+                deadline.check()
+                if kind == "sc":
+                    result: Any = current.sc(msg[1])
+                    counters["answered"] += 1
+                elif kind == "sc_batch":
+                    result = current.sc_batch(msg[1])
+                    counters["answered"] += len(msg[1])
+                    counters["batches"] += 1
+                elif kind == "smcc":
+                    result = current.smcc(msg[1])
+                    counters["answered"] += 1
+                elif kind == "smcc_l":
+                    result = current.smcc_l(msg[1], msg[2])
+                    counters["answered"] += 1
+                else:
+                    raise ServeError(f"unknown shard request kind {kind!r}")
+                conn.send(("ok", current.generation, result))
+            except Exception as exc:
+                counters["errors"] += 1
+                conn.send(("err", type(exc).__name__, str(exc)))
+    finally:
+        # Mappings and the pipe are released even when the request loop
+        # dies on an unexpected error (the parent sees EOF either way).
+        if view is not None:
+            view.close()
+        head.close()
+        conn.close()
 
 
 def _fork_context() -> Any:
@@ -1009,6 +1101,7 @@ def _fork_context() -> Any:
 
 
 @monitored
+# owns: worker-pool
 class WorkerPool:
     """N forked worker processes, one duplex pipe each.
 
@@ -1053,18 +1146,30 @@ class WorkerPool:
     # guarded-by: _lock
     def _spawn(self, worker: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        proc = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, self.prefix, worker),
-            name=f"repro-shard-worker-{worker}",
-            daemon=True,
-        )
-        proc.start()
+        try:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.prefix, worker),
+                name=f"repro-shard-worker-{worker}",
+                daemon=True,
+            )
+            proc.start()
+        except BaseException:
+            # A fork that fails (EAGAIN under pid pressure) must not
+            # leak either pipe end.
+            parent_conn.close()
+            child_conn.close()
+            raise
         # Close the parent's copy of the child end: worker death must
         # surface as EOF on the parent pipe, not a silent hang.
         child_conn.close()
-        self._procs[worker] = proc
-        self._conns[worker] = parent_conn
+        # transfers: proc, parent_conn
+        self._procs[worker] = _leaktrack.tracked(
+            proc, "worker-process", f"proc:{self.prefix}:{worker}"
+        )
+        self._conns[worker] = _leaktrack.tracked(
+            parent_conn, "pipe", f"pipe:{self.prefix}:{worker}"
+        )
 
     def process(self, worker: int) -> Any:
         with self._lock:
@@ -1155,6 +1260,16 @@ class WorkerPool:
             if proc.is_alive():  # pragma: no cover - defensive
                 proc.terminate()
                 proc.join(timeout=5.0)
+        # Zero-leak sweep: any worker process or pipe this pool spawned
+        # and never reaped raises LeakError with its allocation stack
+        # when REPRO_LEAKTRACK=1 is armed (no-op when disarmed).
+        _leaktrack.sweep(
+            "WorkerPool.stop",
+            label_prefixes=(
+                f"proc:{self.prefix}:",
+                f"pipe:{self.prefix}:",
+            ),
+        )
 
     def __enter__(self) -> "WorkerPool":
         self.start()
@@ -1168,6 +1283,7 @@ class WorkerPool:
 # The gateway
 # ----------------------------------------------------------------------
 @monitored
+# owns: shard-gateway
 class ShardGateway:
     """Fronts a :class:`WorkerPool` for one :class:`ServingIndex`.
 
@@ -1201,31 +1317,45 @@ class ShardGateway:
     ) -> None:
         self.serving = serving  # guarded-by: immutable-after-publish
         self.store = SharedSnapshotStore(prefix=prefix)  # guarded-by: immutable-after-publish
-        self.store.publish_snapshot(serving.snapshot())
-        # Every later publish exports through the store *inside* the
-        # publisher lock, so generation order on the head matches the
-        # in-process publication order exactly.
-        serving.publisher.set_exporter(self.store.publish_snapshot)
-        self.pool = WorkerPool(self.store.prefix, workers)  # guarded-by: immutable-after-publish
-        self.pool.start()
-        #: guards the local dispatch counters
-        self._lock = new_lock("ShardGateway._lock")
-        self._counters = {  # guarded-by: _lock
-            "dispatched": 0,
-            "batches": 0,
-            "coalesced": 0,
-            "retries": 0,
-            "degraded": 0,
-        }
-        #: pending coalesced singles per shard — event-loop-confined
-        #: (only touched from loop callbacks, never from pool threads)
-        self._pending: Dict[int, List[Tuple[List[int], Any]]] = {}
-        #: executes blocking pipe round-trips off the event loop; one
-        #: slot per worker (requests to one worker serialize anyway)
-        # guarded-by: immutable-after-publish
-        self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="shard-gateway"
-        )
+        try:
+            self.store.publish_snapshot(serving.snapshot())
+            # Every later publish exports through the store *inside* the
+            # publisher lock, so generation order on the head matches the
+            # in-process publication order exactly.
+            serving.publisher.set_exporter(self.store.publish_snapshot)
+            self.pool = WorkerPool(self.store.prefix, workers)  # guarded-by: immutable-after-publish
+            self.pool.start()
+            #: guards the local dispatch counters
+            self._lock = new_lock("ShardGateway._lock")
+            self._counters = {  # guarded-by: _lock
+                "dispatched": 0,
+                "batches": 0,
+                "coalesced": 0,
+                "retries": 0,
+                "degraded": 0,
+            }
+            #: pending coalesced singles per shard — event-loop-confined
+            #: (only touched from loop callbacks, never from pool threads)
+            self._pending: Dict[int, List[Tuple[List[int], Any]]] = {}
+            #: executes blocking pipe round-trips off the event loop; one
+            #: slot per worker (requests to one worker serialize anyway)
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="shard-gateway"
+            )
+            # guarded-by: immutable-after-publish
+            self._executor = _leaktrack.tracked(  # transfers: executor
+                executor, "thread-pool", f"executor:{self.store.prefix}"
+            )
+        except BaseException:
+            # A half-built gateway (bad worker count, a publish that
+            # dies exporting) must not leak the store's segments, the
+            # already-forked workers, or the exporter hook.
+            serving.publisher.set_exporter(None)
+            pool = getattr(self, "pool", None)
+            if pool is not None:
+                pool.stop()
+            self.store.close()
+            raise
         self._closed = False  # guarded-by: _lock
         registry = _obs.REGISTRY
         if registry is not None:
@@ -1476,6 +1606,12 @@ class ShardGateway:
         self.pool.stop()
         self._executor.shutdown(wait=True)
         self.store.close()
+        # The pool and store ran their own sweeps; this one covers the
+        # gateway's executor (no-op when REPRO_LEAKTRACK is disarmed).
+        _leaktrack.sweep(
+            "ShardGateway.close",
+            label_prefixes=(f"executor:{self.store.prefix}",),
+        )
 
     def __enter__(self) -> "ShardGateway":
         return self
@@ -1596,14 +1732,20 @@ def run_shard_workload(
         import random
 
         rng = random.Random(spec.seed * 7_000_003 + 17)
-        with serving.publisher.lock:
-            edges = list(serving.publisher.index.graph.edges())
+        loop = asyncio.get_running_loop()
+
+        def list_edges() -> List[Edge]:
+            # Taking the publisher lock would block the event loop (and
+            # every coalesced client on it): hop through the executor.
+            with serving.publisher.lock:
+                return list(serving.publisher.index.graph.edges())
+
+        edges = await loop.run_in_executor(None, list_edges)
         if not edges:
             return
         churn = rng.sample(
             edges, min(len(edges), max(1, spec.updates // 2))
         )
-        loop = asyncio.get_running_loop()
         for applied in range(spec.updates):
             u, v = churn[(applied // 2) % len(churn)]
             if applied % 2 == 0:
@@ -1627,7 +1769,29 @@ def run_shard_workload(
 
     async def main() -> float:
         watch = Stopwatch()
-        await asyncio.gather(*(client(ops) for ops in client_ops), writer())
+        tasks: List[Any] = []
+        for i, ops in enumerate(client_ops):
+            task = asyncio.create_task(client(ops))
+            tasks.append(task)
+            _leaktrack.track_task(task, f"shard-client:{i}")
+        writer_task = asyncio.create_task(writer())
+        tasks.append(writer_task)
+        _leaktrack.track_task(writer_task, "shard-writer")
+        try:
+            await asyncio.gather(*tasks)
+        except BaseException:
+            # A client that dies must not strand its siblings: cancel
+            # the rest (asyncio.run drains them before closing).
+            for task in tasks:
+                task.cancel()
+            raise
+        # One extra tick so every done callback — the leak tracker's
+        # included — has run before the zero-leak sweep.
+        await asyncio.sleep(0)
+        _leaktrack.sweep(
+            "run_shard_workload",
+            label_prefixes=("shard-client:", "shard-writer"),
+        )
         return watch.lap()
 
     try:

@@ -15,6 +15,37 @@ from repro.graph.generators import (
 
 
 @pytest.fixture
+def shm_leak_sweep():
+    """Fail the test if it leaves ``rsh*`` segments behind in /dev/shm.
+
+    Snapshots the repro-owned shared-memory namespace before the test
+    body and diffs it afterwards; any leftover segment names the test
+    created but never unlinked are reported verbatim.  When the runtime
+    leak tracker is armed (``REPRO_LEAKTRACK=1``) the failure message is
+    enriched with the allocation stack of each still-live tracked
+    resource, so the leak points at the acquiring line instead of at the
+    sweep.  Shard/serve test modules adopt this module-wide via an
+    autouse wrapper.
+    """
+    from repro.analysis import leaktrack
+    from repro.serve.shard import list_repro_segments
+
+    before = set(list_repro_segments())
+    yield
+    leaked = sorted(set(list_repro_segments()) - before)
+    if not leaked:
+        return
+    lines = ["test leaked shared-memory segments: " + ", ".join(leaked)]
+    if leaktrack.enabled():
+        for record in leaktrack.live(kinds=("shm-segment",)):
+            lines.append(
+                f"  still-live {record.kind} {record.label!r} acquired at:\n"
+                f"{record.stack}"
+            )
+    pytest.fail("\n".join(lines))
+
+
+@pytest.fixture
 def paper_graph():
     """The 13-vertex running example of the paper (Figure 2)."""
     return paper_example_graph()

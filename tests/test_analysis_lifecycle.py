@@ -1,0 +1,764 @@
+"""The resource-lifecycle analysis and the runtime leak tracker.
+
+Three layers of coverage:
+
+- grammar/rule fixtures: every annotation form and every defect class
+  of the lifecycle rules fires (and stays silent) where the contract
+  says — leaks on exception edges, finally-certified cleanup, transfer
+  via return, double-release, blocking-in-async;
+- leaktrack unit tests: creation-time arming, the forwarding proxy,
+  ``LeakError`` contents, task tracking, filters;
+- mutation meta-tests: surgically deleting the ``shm.close()`` from
+  ``SharedSnapshotStore._drop_segment`` must be rediscovered by BOTH
+  prongs — the static ``resource-leak`` rule at the exact acquisition
+  line, and the ``REPRO_LEAKTRACK=1`` tracker raising ``LeakError``
+  from the store's zero-leak sweep with the allocation stack attached.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import leaktrack
+from repro.analysis.engine import build_context, lint_contexts
+from repro.analysis.leaktrack import LeakError
+from repro.analysis.lifecycle import LIFECYCLE_RULE_IDS
+from repro.analysis.rules import make_rules
+from repro.graph.generators import paper_example_graph
+from repro.serve import ServingIndex
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+SRC_ROOT = os.path.join(ROOT, "src", "repro")
+SHARD_PATH = os.path.join(SRC_ROOT, "serve", "shard.py")
+
+FUTURE = "from __future__ import annotations\n"
+
+
+def lint_lc(*sources, rules=None):
+    """Lint (path, source) pairs with the lifecycle rule set."""
+    contexts = [
+        build_context(path, source, root=".") for path, source in sources
+    ]
+    only = set(LIFECYCLE_RULE_IDS) if rules is None else set(rules)
+    return lint_contexts(contexts, make_rules(only))
+
+
+def line_of(src, needle):
+    """1-based line of the first source line containing ``needle``."""
+    return next(
+        i for i, text in enumerate(src.splitlines(), start=1) if needle in text
+    )
+
+
+@pytest.fixture
+def leaktrack_on():
+    """Arm the tracker with a clean registry for one test."""
+    was = leaktrack.enabled()
+    leaktrack.reset()
+    leaktrack.enable()
+    yield
+    leaktrack.reset()
+    if not was:
+        leaktrack.disable()
+
+
+@pytest.fixture
+def leaktrack_off():
+    was = leaktrack.enabled()
+    leaktrack.disable()
+    yield
+    if was:
+        leaktrack.enable()
+
+
+# ----------------------------------------------------------------------
+# Static rules: resource-leak
+# ----------------------------------------------------------------------
+class TestResourceLeak:
+    def test_leak_on_exception_edge_between_acquire_and_return(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def attach(name):
+                shm = SharedMemory(name=name)
+                validate(shm)
+                return shm
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+        assert findings[0].line == line_of(src, "shm = SharedMemory")
+        assert "exception edge" in findings[0].message
+        assert "shm-segment" in findings[0].message
+
+    def test_finally_certifies_the_exception_edge_safe(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def use(name):
+                shm = SharedMemory(name=name)
+                try:
+                    work(shm)
+                finally:
+                    shm.close()
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_except_reraise_cleanup_certifies_safe(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    validate(shm)
+                except BaseException:
+                    shm.close()
+                    raise
+                return shm
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_transfer_via_return_is_not_a_leak(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def make(name):
+                shm = SharedMemory(name=name)
+                return shm
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_plain_leak_names_every_exit(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def forget(name):
+                shm = SharedMemory(name=name)
+                work(shm)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+        # Both the normal exit and the exception edge leak, so the
+        # message must NOT narrow the blame to the exception edge.
+        assert "exception edge" not in findings[0].message
+
+    def test_store_into_attribute_transfers_ownership(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def keep(self, name):
+                shm = SharedMemory(name=name)
+                self.segments = shm
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_container_append_transfers_ownership(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def collect(bag, name):
+                shm = SharedMemory(name=name)
+                bag.append(shm)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_pipe_pair_tracks_both_ends(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def pair():
+                parent, child = Pipe()
+                parent.close()
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+        assert "'child'" in findings[0].message
+
+    def test_unawaited_task_handle_leaks(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            async def run():
+                task = create_task(work())
+                return None
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+        assert "asyncio-task" in findings[0].message
+
+    def test_awaited_task_handle_is_consumed(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            async def run():
+                task = create_task(work())
+                await task
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_is_none_branch_narrows_the_resource_away(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def drop(table, name):
+                shm = table.pop(name, None)  # owns: shm-segment
+                if shm is None:
+                    return
+                shm.close()
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_with_statement_is_never_tracked(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def read(path):
+                with open(path, "r") as handle:
+                    return handle.read()
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_out_of_scope_packages_are_not_checked(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def forget(name):
+                shm = SharedMemory(name=name)
+                work(shm)
+            """
+        )
+        assert lint_lc(("core/mod.py", src)) == []
+
+    def test_suppression_round_trip(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def forget(name):
+                shm = SharedMemory(name=name)  # repro-lint: ignore[resource-leak]
+                work(shm)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+
+# ----------------------------------------------------------------------
+# Static rules: double-release
+# ----------------------------------------------------------------------
+class TestDoubleRelease:
+    def test_unconditional_second_close(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def twice(name):
+                shm = SharedMemory(name=name)
+                shm.close()
+                shm.close()
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["double-release"]
+        assert findings[0].line == line_of(src, "shm.close()") + 1
+        assert "already released" in findings[0].message
+
+    def test_release_joined_from_a_maybe_released_branch(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def maybe(name, flag):
+                shm = SharedMemory(name=name)
+                if flag:
+                    shm.close()
+                shm.close()
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["double-release"]
+
+    def test_branch_exclusive_releases_are_fine(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def either(name, flag):
+                shm = SharedMemory(name=name)
+                if flag:
+                    shm.close()
+                else:
+                    shm.close()
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_suppression_round_trip(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def twice(name):
+                shm = SharedMemory(name=name)
+                shm.close()
+                shm.close()  # repro-lint: ignore[double-release]
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+
+# ----------------------------------------------------------------------
+# Static rules: blocking-in-async
+# ----------------------------------------------------------------------
+class TestBlockingInAsync:
+    def test_time_sleep_in_async_body(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            import time
+
+
+            async def poll():
+                time.sleep(0.1)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["blocking-in-async"]
+        assert "time.sleep()" in findings[0].message
+
+    def test_pipe_recv_in_async_body(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            async def pump(conn):
+                value = conn.recv()
+                return value
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["blocking-in-async"]
+        assert ".recv()" in findings[0].message
+
+    def test_with_lock_in_async_body(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            async def write(publisher):
+                with publisher.lock:
+                    pass
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["blocking-in-async"]
+        assert "event loop" in findings[0].message
+
+    def test_nested_function_bodies_are_the_executor_hop(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            import time
+
+
+            async def poll(loop, publisher):
+                def work():
+                    time.sleep(0.1)
+                    with publisher.lock:
+                        return 1
+                await loop.run_in_executor(None, work)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_awaited_calls_are_exempt(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            import asyncio
+
+
+            async def nap():
+                await asyncio.sleep(0)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_sync_functions_are_exempt(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            import time
+
+
+            def poll():
+                time.sleep(0.1)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_suppression_round_trip(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            import time
+
+
+            async def poll():
+                time.sleep(0.1)  # repro-lint: ignore[blocking-in-async]
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+
+# ----------------------------------------------------------------------
+# The annotation language
+# ----------------------------------------------------------------------
+class TestAnnotationLanguage:
+    def test_owns_on_def_makes_a_factory(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            # owns: shm-segment
+            def attach(name):
+                return _raw(name)
+
+
+            def forget(name):
+                shm = attach(name)
+                work(shm)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+        assert findings[0].line == line_of(src, "shm = attach(name)")
+
+    def test_owns_on_assignment_tracks_a_non_factory_rhs(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def take(table, name):
+                shm = table.pop(name)  # owns: shm-segment
+                work(shm)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+
+    def test_releases_marks_a_cleanup_helper(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def give_back(handle):  # releases: handle
+                handle.close()
+
+
+            def ok(name):
+                shm = SharedMemory(name=name)
+                give_back(shm)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_without_releases_the_helper_call_leaks(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def give_back(handle):
+                handle.close()
+
+
+            def ok(name):
+                shm = SharedMemory(name=name)
+                give_back(shm)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+
+    def test_transfers_certifies_a_handoff_on_both_edges(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def stash(registry, name):
+                shm = SharedMemory(name=name)
+                registry.adopt(shm)  # transfers: shm
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_without_transfers_the_handoff_call_leaks(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def stash(registry, name):
+                shm = SharedMemory(name=name)
+                registry.adopt(shm)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["resource-leak"]
+
+    def test_borrowed_resource_untracks_the_binding(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            # owns: shm-segment
+            def attach(name):
+                return _raw(name)
+
+
+            def reader(name):
+                shm = attach(name)  # borrowed-resource
+                work(shm)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_comment_line_above_anchors_to_the_next_statement(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def stash(registry, name):
+                shm = SharedMemory(name=name)
+                # transfers: shm
+                registry.adopt(shm)
+            """
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+    def test_unparseable_kind_is_invalid(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            # owns: Not A Kind
+            def attach(name):
+                return _raw(name)
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["lifecycle-invalid"]
+        assert "does not parse" in findings[0].message
+
+    def test_releases_unknown_parameter_is_invalid(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def give_back(handle):  # releases: nope
+                handle.close()
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["lifecycle-invalid"]
+        assert "not a parameter" in findings[0].message
+
+    def test_unanchored_annotation_is_invalid(self):
+        src = FUTURE + textwrap.dedent(
+            """
+            def check(flag):
+                if flag:  # owns: shm-segment
+                    return 1
+                return 0
+            """
+        )
+        findings = lint_lc(("serve/mod.py", src))
+        assert [f.rule for f in findings] == ["lifecycle-invalid"]
+        assert "attaches to no" in findings[0].message
+
+    def test_annotations_quoted_in_docstrings_are_inert(self):
+        src = FUTURE + textwrap.dedent(
+            '''
+            def doc():
+                """Use ``# owns: shm-segment`` on the factory def."""
+                return None
+            '''
+        )
+        assert lint_lc(("serve/mod.py", src)) == []
+
+
+# ----------------------------------------------------------------------
+# leaktrack: the dynamic prong
+# ----------------------------------------------------------------------
+class _FakeResource:
+    def __init__(self):
+        self.closed = 0
+        self.name = "fake"
+
+    def close(self):
+        self.closed += 1
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.alive = True
+
+    def is_alive(self):
+        return self.alive
+
+    def join(self, timeout=None):
+        return None
+
+    def terminate(self):
+        self.alive = False
+
+
+class TestLeaktrack:
+    def test_disarmed_tracked_is_identity(self, leaktrack_off):
+        obj = _FakeResource()
+        assert leaktrack.tracked(obj, "shm-segment", "x") is obj
+
+    def test_armed_proxy_forwards_and_forgets_on_close(self, leaktrack_on):
+        obj = _FakeResource()
+        proxy = leaktrack.tracked(obj, "shm-segment", "seg:a")
+        assert proxy is not obj
+        assert proxy.name == "fake"  # attribute forwarding
+        assert [r.label for r in leaktrack.live()] == ["seg:a"]
+        proxy.close()
+        assert obj.closed == 1  # the real close ran
+        assert leaktrack.live() == ()
+        leaktrack.sweep("after close")  # no-op once released
+
+    def test_sweep_raises_with_allocation_stack(self, leaktrack_on):
+        def acquire_here():
+            return leaktrack.tracked(
+                _FakeResource(), "shm-segment", "seg:leaky"
+            )
+
+        acquire_here()
+        with pytest.raises(LeakError) as excinfo:
+            leaktrack.sweep("store.close")
+        err = excinfo.value
+        assert len(err.records) == 1
+        record = err.records[0]
+        assert record.kind == "shm-segment"
+        assert record.label == "seg:leaky"
+        assert "acquire_here" in record.stack
+        assert "seg:leaky" in str(err) and "acquire_here" in str(err)
+
+    def test_worker_process_record_survives_failed_join(self, leaktrack_on):
+        proc = leaktrack.tracked(_FakeProcess(), "worker-process", "proc:0")
+        proc.join(timeout=0.0)  # timed out: the process is still alive
+        assert [r.label for r in leaktrack.live()] == ["proc:0"]
+        proc.terminate()  # now genuinely dead
+        assert leaktrack.live() == ()
+
+    def test_filters_select_by_label_prefix_and_kind(self, leaktrack_on):
+        leaktrack.tracked(_FakeResource(), "shm-segment", "created:a1")
+        leaktrack.tracked(_FakeResource(), "pipe", "pipe:w0")
+        assert len(leaktrack.live()) == 2
+        assert [
+            r.label for r in leaktrack.live(label_prefixes=("created:",))
+        ] == ["created:a1"]
+        assert [r.kind for r in leaktrack.live(kinds=("pipe",))] == ["pipe"]
+        leaktrack.sweep("scoped", label_prefixes=("other:",))  # no match
+        with pytest.raises(LeakError):
+            leaktrack.sweep("scoped", label_prefixes=("created:",))
+        leaktrack.reset()
+        assert leaktrack.live() == ()
+
+    def test_task_tracking_forgets_on_completion(self, leaktrack_on):
+        async def body():
+            task = leaktrack.track_task(
+                asyncio.get_running_loop().create_task(asyncio.sleep(0)),
+                "t:0",
+            )
+            assert isinstance(task, asyncio.Task)  # no proxy: loops need it
+            assert [r.label for r in leaktrack.live()] == ["t:0"]
+            await task
+            await asyncio.sleep(0)  # let done-callbacks run
+            assert leaktrack.live() == ()
+
+        asyncio.run(body())
+
+    def test_env_var_binds_at_import_time(self):
+        probe = (
+            "from repro.analysis import leaktrack; "
+            "print(leaktrack.enabled())"
+        )
+        for value, expected in (
+            ("1", "True"),
+            ("yes", "True"),
+            ("0", "False"),
+            ("off", "False"),
+            ("", "False"),
+        ):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.path.abspath(os.path.join(ROOT, "src"))
+            env["REPRO_LEAKTRACK"] = value
+            out = subprocess.run(
+                [sys.executable, "-c", probe],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert out.stdout.strip() == expected, value
+
+
+# ----------------------------------------------------------------------
+# Mutation meta-tests: delete one close(), both prongs must see it
+# ----------------------------------------------------------------------
+def _mutated_shard_source():
+    """serve/shard.py with ``_drop_segment``'s close() surgically removed.
+
+    Returns ``(source, pop_line)`` where *pop_line* is the 1-based line
+    of the ``self._segments.pop`` acquisition the leaked mapping comes
+    from.
+    """
+    with open(SHARD_PATH, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    anchor = "shm = self._segments.pop(name, None)  # owns: shm-segment"
+    assert anchor in source, (
+        "_drop_segment refactored; update the meta-test surgery"
+    )
+    start = source.index(anchor)
+    close_at = source.index("shm.close()", start)
+    line_start = source.rindex("\n", 0, close_at) + 1
+    line_end = source.index("\n", close_at) + 1
+    assert source[line_start:line_end].strip() == "shm.close()", (
+        "_drop_segment refactored; update the meta-test surgery"
+    )
+    mutated = source[:line_start] + source[line_end:]
+    pop_line = source[:start].count("\n") + 1
+    return mutated, pop_line
+
+
+class TestMutationMetaTests:
+    def test_pristine_shard_module_is_clean(self):
+        with open(SHARD_PATH, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        assert lint_lc(("serve/shard.py", source)) == []
+
+    def test_static_rule_rediscovers_the_deleted_close(self):
+        mutated, pop_line = _mutated_shard_source()
+        findings = lint_lc(("serve/shard.py", mutated))
+        leaks = [f for f in findings if f.rule == "resource-leak"]
+        assert leaks, "resource-leak missed the deleted close()"
+        assert [f.line for f in leaks] == [pop_line]
+        assert "shm-segment" in leaks[0].message
+        assert [f.rule for f in findings] == ["resource-leak"]
+
+    def test_tracker_rediscovers_the_deleted_close(self, leaktrack_on):
+        import types
+
+        mutated, _ = _mutated_shard_source()
+        module = types.ModuleType("repro.serve.shard_mutated")
+        module.__file__ = SHARD_PATH
+        sys.modules[module.__name__] = module
+        try:
+            exec(compile(mutated, SHARD_PATH, "exec"), module.__dict__)
+            buggy_store_cls = module.SharedSnapshotStore
+
+            serving = ServingIndex.build(paper_example_graph())
+            store = buggy_store_cls()
+            store.publish_snapshot(serving.snapshot())
+            # The mutated _drop_segment unlinks but never closes, so the
+            # store's zero-leak sweep must catch every leaked mapping.
+            with pytest.raises(LeakError) as excinfo:
+                store.close()
+        finally:
+            sys.modules.pop(module.__name__, None)
+            leaktrack.reset()
+        records = excinfo.value.records
+        assert records
+        assert all(r.kind == "shm-segment" for r in records)
+        # The allocation stacks point into the export path — the leak is
+        # actionable from the error alone.
+        assert any("_export_array" in r.stack for r in records)
+        assert any("_create_segment" in r.stack for r in records)
+
+
+# ----------------------------------------------------------------------
+# The annotated source tree holds the contract
+# ----------------------------------------------------------------------
+class TestSourceTreeIsClean:
+    def test_lifecycle_rules_report_nothing_on_src(self):
+        contexts = []
+        for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+                rel = os.path.relpath(path, os.path.join(ROOT, "src"))
+                contexts.append(build_context(rel, source, root="."))
+        findings = lint_contexts(contexts, make_rules(set(LIFECYCLE_RULE_IDS)))
+        assert findings == [], [
+            f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in findings
+        ]

@@ -1,5 +1,6 @@
 """Error hierarchy contracts and failure-injection tests."""
 
+import errno
 import os
 import signal
 
@@ -24,6 +25,12 @@ from repro.errors import (
 )
 from repro.graph.generators import paper_example_graph
 from repro.index.persistence import load_connectivity_graph, load_mst
+
+
+@pytest.fixture(autouse=True)
+def _zero_leak(shm_leak_sweep):
+    """No injected fault may leave segments behind in /dev/shm."""
+    yield
 
 
 class TestHierarchy:
@@ -203,6 +210,74 @@ class TestShardWorkerCrash:
                 gateway.sc([])
             with pytest.raises(EmptyQueryError):
                 gateway.smcc([])
+
+
+class TestExportFaultInjection:
+    """ENOSPC mid-export: typed error, full rollback, store stays usable."""
+
+    def test_enospc_mid_export_rolls_back_cleanly(self, monkeypatch):
+        from repro.serve import ServingIndex, SharedSnapshotStore
+        from repro.serve import shard as shard_mod
+
+        serving = ServingIndex.build(paper_example_graph())
+        real_create = shard_mod._create_segment
+        calls = {"n": 0}
+
+        def flaky_create(name, size):
+            calls["n"] += 1
+            if calls["n"] == 4:  # head is call 1; two buffers already live
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_create(name, size)
+
+        monkeypatch.setattr(shard_mod, "_create_segment", flaky_create)
+        store = SharedSnapshotStore()
+        prefix = store.prefix
+        try:
+            with pytest.raises(ServeError, match="exporting generation 0"):
+                store.publish_snapshot(serving.snapshot())
+            assert calls["n"] == 4  # the fault actually fired mid-export
+            # Every segment the aborted export created was unlinked; only
+            # the head survives (the store owns it, not the export).
+            assert shard_mod.system_segments(prefix) == [f"{prefix}head"]
+            assert store.live_segment_names() == [f"{prefix}head"]
+            assert store.generations() == []
+            # The store is not poisoned: retrying once space is back
+            # re-exports the same generation from scratch.
+            monkeypatch.setattr(shard_mod, "_create_segment", real_create)
+            doc = store.publish_snapshot(serving.snapshot())
+            assert doc["generation"] == 0
+            assert store.generations() == [0]
+        finally:
+            store.close()
+        assert shard_mod.system_segments(prefix) == []
+
+    def test_enospc_on_manifest_segment_rolls_back_buffers(
+        self, monkeypatch
+    ):
+        # The manifest is the last segment an export creates — failing
+        # there must roll back every buffer segment exported before it.
+        from repro.serve import ServingIndex, SharedSnapshotStore
+        from repro.serve import shard as shard_mod
+
+        serving = ServingIndex.build(paper_example_graph())
+        real_create = shard_mod._create_segment
+
+        def no_manifest(name, size):
+            if name.endswith("m0"):
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_create(name, size)
+
+        monkeypatch.setattr(shard_mod, "_create_segment", no_manifest)
+        store = SharedSnapshotStore()
+        prefix = store.prefix
+        try:
+            with pytest.raises(ServeError, match="exporting generation 0"):
+                store.publish_snapshot(serving.snapshot())
+            assert shard_mod.system_segments(prefix) == [f"{prefix}head"]
+            assert store.generations() == []
+        finally:
+            store.close()
+        assert shard_mod.system_segments(prefix) == []
 
 
 class TestShardManifestCorruption:

@@ -42,6 +42,12 @@ from repro.serve.shard import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _zero_leak(shm_leak_sweep):
+    """Every test in this module must leave /dev/shm the way it found it."""
+    yield
+
+
 @pytest.fixture
 def serving():
     return ServingIndex.build(
@@ -135,6 +141,26 @@ class TestHeadSeqlock:
             finally:
                 reader.close()
                 serving.publisher.set_exporter(None)
+
+
+class TestHeadReaderLifecycle:
+    def test_close_is_idempotent(self, serving):
+        with SharedSnapshotStore() as store:
+            store.publish_snapshot(serving.snapshot())
+            reader = _HeadReader(store.prefix)
+            assert reader.generation() == 0
+            reader.close()
+            reader.close()  # second close must be a no-op, not an error
+
+    def test_close_after_store_unlink(self, serving):
+        # The store unlinking the head does not invalidate an already
+        # attached reader's close path (Linux unlink-vs-mapping rules).
+        store = SharedSnapshotStore()
+        store.publish_snapshot(serving.snapshot())
+        reader = _HeadReader(store.prefix)
+        store.close()
+        reader.close()
+        reader.close()
 
 
 class TestStoreRefcounting:

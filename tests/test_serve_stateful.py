@@ -33,6 +33,17 @@ from repro.graph.generators import clique_chain_graph
 from repro.graph.graph import Graph
 from repro.serve import ServeConfig, ServingIndex
 
+@pytest.fixture(autouse=True)
+def _zero_leak(shm_leak_sweep):
+    """No interleaving may leave /dev/shm dirtier than it found it.
+
+    The threaded rounds allocate no segments (the diff is empty); the
+    cross-process shard rounds at the bottom of this module are the real
+    audience.
+    """
+    yield
+
+
 #: sentinel answer for a query that spans components (per-query paths raise)
 DISC = "DISC"
 
